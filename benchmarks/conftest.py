@@ -1,0 +1,40 @@
+"""Shared infrastructure for the benchmark drivers.
+
+Every driver regenerates one table or figure of the paper: it computes the
+paper-shaped rows, asserts the *shape* claims (who wins, roughly by how
+much), prints the table, and archives it under ``benchmarks/results/``.
+Absolute numbers differ from the paper (Python + simulated parallelism vs a
+24-core Xeon); EXPERIMENTS.md records the mapping.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    """Print a finished table and archive it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+def fmt(value: float, digits: int = 0) -> str:
+    """Compact numeric cell."""
+    if value is None:
+        return "-"
+    if digits == 0:
+        return f"{value:,.0f}"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,199 @@
+"""Ablations over the remaining scheduling knobs.
+
+Three design choices the paper exposes through the scheduling language but
+does not sweep in a dedicated table:
+
+- ``configBucketFusionThreshold`` — too small and fusion never fires; too
+  large and straggler threads serialize work (Section 3.3: "The threshold
+  is important to avoid creating straggler threads").
+- ``configNumBuckets`` — fewer materialized lazy buckets mean more overflow
+  re-bucketing passes; more buckets cost scanning (Section 5.1 / Julienne).
+- ``configApplyParallelization`` — edge-aware load balancing vs plain
+  dynamic chunking on a skewed-degree graph.
+"""
+
+import pytest
+
+from conftest import fmt
+
+from repro.algorithms import sssp
+from repro.eval import datasets, format_table
+from repro.midend import Schedule
+
+THREADS = 8
+
+
+# ----------------------------------------------------------------------
+# Bucket fusion threshold
+# ----------------------------------------------------------------------
+THRESHOLDS = (1, 8, 64, 1000, 100000)
+
+
+def fusion_threshold_sweep():
+    graph = datasets.load("RD")
+    source = datasets.sources_for("RD", 1)[0]
+    results = {}
+    for threshold in THRESHOLDS:
+        schedule = Schedule(
+            priority_update="eager_with_fusion",
+            delta=datasets.best_delta("RD"),
+            bucket_fusion_threshold=threshold,
+            num_threads=THREADS,
+        )
+        results[threshold] = sssp(graph, source, schedule).stats
+    return results
+
+
+@pytest.fixture(scope="module")
+def threshold_sweep():
+    return fusion_threshold_sweep()
+
+
+def test_fusion_threshold_ablation(benchmark, threshold_sweep, save_table):
+    benchmark.pedantic(
+        sssp,
+        args=(datasets.load("RD"), datasets.sources_for("RD", 1)[0]),
+        kwargs={
+            "schedule": Schedule(
+                priority_update="eager_with_fusion",
+                delta=datasets.best_delta("RD"),
+                num_threads=THREADS,
+            )
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            str(threshold),
+            str(stats.rounds),
+            str(stats.fused_rounds),
+            fmt(stats.critical_path_work),
+            fmt(stats.simulated_time()),
+        ]
+        for threshold, stats in threshold_sweep.items()
+    ]
+    table = format_table(
+        ["threshold", "sync rounds", "fused rounds", "critical path", "simulated"],
+        rows,
+        title="Ablation: bucket fusion threshold (SSSP on RD)",
+    )
+    save_table("ablation_fusion_threshold", table)
+
+    tiny = threshold_sweep[1]
+    tuned = threshold_sweep[1000]
+    # A threshold of 1 disables fusion in practice: many synchronized rounds.
+    assert tiny.fused_rounds < tuned.fused_rounds
+    assert tiny.rounds > tuned.rounds
+    assert tuned.simulated_time() < tiny.simulated_time()
+    # An unbounded threshold must not beat the tuned one by serializing less
+    # (it can only add straggler work).
+    unbounded = threshold_sweep[100000]
+    assert unbounded.critical_path_work >= tuned.critical_path_work * 0.99
+
+
+# ----------------------------------------------------------------------
+# Number of materialized lazy buckets
+# ----------------------------------------------------------------------
+BUCKET_COUNTS = (2, 8, 32, 128, 1024)
+
+
+def num_buckets_sweep():
+    graph = datasets.load("RD")
+    source = datasets.sources_for("RD", 1)[0]
+    results = {}
+    for count in BUCKET_COUNTS:
+        schedule = Schedule(
+            priority_update="lazy",
+            delta=datasets.best_delta("RD"),
+            num_buckets=count,
+            num_threads=THREADS,
+        )
+        results[count] = sssp(graph, source, schedule).stats
+    return results
+
+
+@pytest.fixture(scope="module")
+def bucket_sweep():
+    return num_buckets_sweep()
+
+
+def test_num_buckets_ablation(benchmark, bucket_sweep, save_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [
+            str(count),
+            str(stats.rounds),
+            fmt(stats.bucket_inserts),
+            fmt(stats.simulated_time()),
+        ]
+        for count, stats in bucket_sweep.items()
+    ]
+    table = format_table(
+        ["materialized buckets", "rounds", "bucket inserts", "simulated"],
+        rows,
+        title="Ablation: number of materialized lazy buckets (SSSP on RD)",
+    )
+    save_table("ablation_num_buckets", table)
+
+    # A tiny window forces overflow re-bucketing: extra bucket insertions.
+    assert (
+        bucket_sweep[2].bucket_inserts > bucket_sweep[128].bucket_inserts
+    ), "a 2-bucket window must re-bucket overflow vertices repeatedly"
+    # Distances are schedule-independent, so rounds stay comparable.
+    assert bucket_sweep[2].rounds >= bucket_sweep[1024].rounds
+
+
+# ----------------------------------------------------------------------
+# Parallelization policy on a skewed graph
+# ----------------------------------------------------------------------
+POLICIES = (
+    "static-vertex-parallel",
+    "dynamic-vertex-parallel",
+    "edge-aware-dynamic-vertex-parallel",
+)
+
+
+def parallelization_sweep():
+    graph = datasets.load("TW")  # heavy-tailed degrees
+    source = datasets.sources_for("TW", 1)[0]
+    results = {}
+    for policy in POLICIES:
+        schedule = Schedule(
+            priority_update="eager_no_fusion",
+            delta=datasets.best_delta("TW"),
+            parallelization=policy,
+            num_threads=THREADS,
+        )
+        results[policy] = sssp(graph, source, schedule).stats
+    return results
+
+
+@pytest.fixture(scope="module")
+def policy_sweep():
+    return parallelization_sweep()
+
+
+def test_parallelization_ablation(benchmark, policy_sweep, save_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [
+            policy,
+            fmt(stats.critical_path_work),
+            fmt(stats.total_work),
+            fmt(stats.simulated_time()),
+        ]
+        for policy, stats in policy_sweep.items()
+    ]
+    table = format_table(
+        ["policy", "critical path", "total work", "simulated"],
+        rows,
+        title="Ablation: load-balancing policy (SSSP on TW, skewed degrees)",
+    )
+    save_table("ablation_parallelization", table)
+
+    dynamic = policy_sweep["dynamic-vertex-parallel"]
+    edge_aware = policy_sweep["edge-aware-dynamic-vertex-parallel"]
+    # Degree-aware balancing must not have a worse critical path than
+    # degree-oblivious chunking on a heavy-tailed graph.
+    assert edge_aware.critical_path_work <= dynamic.critical_path_work * 1.02

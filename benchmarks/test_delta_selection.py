@@ -1,0 +1,71 @@
+"""Section 6.2, "Delta Selection for Priority Coarsening".
+
+The paper: "The best Δ values for social networks (ranging from 1 to 100)
+are much smaller than deltas for road networks with large diameters
+(ranging from 2^13 to 2^17)."  This driver sweeps Δ for SSSP on one social
+and one road stand-in and reports the simulated time per Δ.
+
+Expected shape: the best Δ on the road network is at least an order of
+magnitude larger than the best Δ on the social network, and picking the
+other class's Δ costs real performance.
+"""
+
+import pytest
+
+from conftest import fmt
+
+from repro.algorithms import sssp
+from repro.eval import datasets, format_table
+from repro.midend import Schedule
+
+DELTAS = tuple(2**k for k in range(0, 16))
+THREADS = 8
+
+
+def sweep(dataset: str) -> dict[int, float]:
+    graph = datasets.load(dataset)
+    source = datasets.sources_for(dataset, 1)[0]
+    results = {}
+    for delta in DELTAS:
+        schedule = Schedule(
+            priority_update="eager_with_fusion", delta=delta, num_threads=THREADS
+        )
+        results[delta] = sssp(graph, source, schedule).stats.simulated_time()
+    return results
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return {"TW": sweep("TW"), "RD": sweep("RD")}
+
+
+def test_delta_selection(benchmark, sweeps, save_table):
+    benchmark.pedantic(
+        sssp,
+        args=(datasets.load("RD"), datasets.sources_for("RD", 1)[0]),
+        kwargs={"schedule": Schedule(priority_update="eager_with_fusion", delta=2048)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for delta in DELTAS:
+        rows.append(
+            [str(delta), fmt(sweeps["TW"][delta]), fmt(sweeps["RD"][delta])]
+        )
+    table = format_table(
+        ["delta", "TW (social)", "RD (road)"],
+        rows,
+        title="Delta selection: SSSP simulated time per coarsening factor",
+    )
+    save_table("delta_selection", table)
+
+    best_tw = min(sweeps["TW"], key=sweeps["TW"].get)
+    best_rd = min(sweeps["RD"], key=sweeps["RD"].get)
+    assert best_rd >= 16 * best_tw, (
+        f"the road network's best delta ({best_rd}) must be much larger than "
+        f"the social network's ({best_tw})"
+    )
+    # Using the social delta on the road graph hurts badly (many rounds).
+    assert sweeps["RD"][best_tw] > 1.5 * sweeps["RD"][best_rd]
+    benchmark.extra_info["best_delta"] = {"TW": best_tw, "RD": best_rd}

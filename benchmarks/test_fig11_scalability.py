@@ -1,0 +1,99 @@
+"""Figure 11: scalability of SSSP across thread counts (TW, FT, RD).
+
+The paper's Figure 11 plots running time vs core count (1..48) for GraphIt,
+GAPBS, and Julienne.  The reproduction sweeps the virtual-thread count and
+reports the simulated parallel time, which is exactly what the cost model
+exists for: per-round critical-path work shrinks with more threads while
+synchronization cost does not.
+
+Expected shape: all frameworks scale on the social graphs (speedup grows
+with threads); on the road network GraphIt (bucket fusion) keeps a clear
+lead over GAPBS and Julienne at high thread counts, and Julienne scales
+worst (the paper: "Julienne's overheads ... make it hard to scale on the
+RoadUSA graph").
+"""
+
+import pytest
+
+from conftest import fmt
+
+from repro.algorithms import run_framework
+from repro.eval import datasets, format_table
+
+GRAPHS = ("TW", "FT", "RD")
+FRAMEWORKS = ("graphit", "gapbs", "julienne")
+THREADS = (1, 2, 4, 8, 16, 24)
+
+
+def run_series(dataset: str, framework: str) -> dict[int, float]:
+    graph = datasets.load(dataset)
+    source = datasets.sources_for(dataset, 1)[0]
+    delta = datasets.best_delta(dataset)
+    series = {}
+    for threads in THREADS:
+        result = run_framework(
+            framework, "sssp", graph, source, delta=delta, num_threads=threads
+        )
+        series[threads] = result.stats.simulated_time()
+    return series
+
+
+@pytest.fixture(scope="module")
+def figure11():
+    return {
+        dataset: {framework: run_series(dataset, framework) for framework in FRAMEWORKS}
+        for dataset in GRAPHS
+    }
+
+
+def test_figure11_scalability(benchmark, figure11, save_table):
+    benchmark.pedantic(
+        run_framework,
+        args=("graphit", "sssp", datasets.load("RD")),
+        kwargs={
+            "source": datasets.sources_for("RD", 1)[0],
+            "delta": datasets.best_delta("RD"),
+            "num_threads": 24,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    sections = []
+    for dataset in GRAPHS:
+        rows = []
+        for framework in FRAMEWORKS:
+            series = figure11[dataset][framework]
+            rows.append(
+                [framework]
+                + [fmt(series[threads]) for threads in THREADS]
+                + [fmt(series[1] / series[THREADS[-1]], 2) + "x"]
+            )
+        sections.append(
+            format_table(
+                ["framework"] + [f"{t}T" for t in THREADS] + ["speedup@24T"],
+                rows,
+                title=f"Figure 11 [{dataset}]: SSSP simulated time vs threads",
+            )
+        )
+    save_table("fig11_scalability", "\n\n".join(sections))
+
+    def speedup(dataset, framework):
+        series = figure11[dataset][framework]
+        return series[1] / series[THREADS[-1]]
+
+    # Social graphs: everyone scales.
+    for dataset in ("TW", "FT"):
+        for framework in FRAMEWORKS:
+            assert speedup(dataset, framework) > 2.0, (
+                f"{framework} must scale on {dataset}"
+            )
+    # Road network: GraphIt stays fastest at high thread counts, and
+    # Julienne scales worst.
+    road = figure11["RD"]
+    assert road["graphit"][24] < road["gapbs"][24]
+    assert road["graphit"][24] < road["julienne"][24]
+    assert speedup("RD", "julienne") <= speedup("RD", "graphit") * 1.05
+    benchmark.extra_info["road_speedup_at_24T"] = {
+        framework: round(speedup("RD", framework), 2) for framework in FRAMEWORKS
+    }

@@ -1,0 +1,90 @@
+"""Figure 1: speedup of ordered over unordered algorithms (SSSP, k-core).
+
+The paper's Figure 1 shows, per input graph, how much faster the ordered
+algorithm (Δ-stepping / bucketed peeling) is than its unordered counterpart
+(Bellman-Ford / whole-graph threshold peeling) on a 24-core machine.  The
+reproduction reports the same two series over the dataset stand-ins, using
+the simulated parallel time of the cost model.
+
+Expected shape: every speedup > 1; road networks show far larger SSSP
+speedups than social networks (the paper's RD bar dwarfs the others).
+"""
+
+import pytest
+
+from conftest import fmt
+
+from repro.algorithms import bellman_ford, kcore, sssp, unordered_kcore
+from repro.eval import datasets, format_table
+from repro.midend import Schedule
+
+SSSP_GRAPHS = ("LJ", "OK", "TW", "GE", "RD")
+KCORE_GRAPHS = ("LJ", "OK", "TW", "GE", "RD")
+THREADS = 8
+
+
+def sssp_speedup(name: str) -> float:
+    graph = datasets.load(name)
+    source = datasets.sources_for(name, 1)[0]
+    schedule = Schedule(
+        priority_update="eager_with_fusion",
+        delta=datasets.best_delta(name),
+        num_threads=THREADS,
+    )
+    ordered = sssp(graph, source, schedule)
+    unordered = bellman_ford(graph, source, num_threads=THREADS)
+    return unordered.stats.simulated_time() / ordered.stats.simulated_time()
+
+
+def kcore_speedup(name: str) -> float:
+    graph = datasets.load(name, symmetric=True)
+    ordered = kcore(graph, Schedule(num_threads=THREADS))
+    unordered = unordered_kcore(graph, num_threads=THREADS)
+    return unordered.stats.simulated_time() / ordered.stats.simulated_time()
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return {
+        "sssp": {name: sssp_speedup(name) for name in SSSP_GRAPHS},
+        "kcore": {name: kcore_speedup(name) for name in KCORE_GRAPHS},
+    }
+
+
+def test_figure1_ordered_vs_unordered(benchmark, figure1, save_table):
+    benchmark.pedantic(sssp_speedup, args=("RD",), rounds=1, iterations=1)
+
+    rows = []
+    for name in SSSP_GRAPHS:
+        rows.append(
+            [
+                name,
+                fmt(figure1["sssp"][name], 2) + "x",
+                fmt(figure1["kcore"][name], 2) + "x",
+            ]
+        )
+    table = format_table(
+        ["graph", "sssp speedup", "kcore speedup"],
+        rows,
+        title="Figure 1: speedup of ordered over unordered algorithms "
+        "(simulated parallel time)",
+    )
+    save_table("fig1_ordered_vs_unordered", table)
+
+    # Shape assertions (the paper's claims).
+    for name, speedup in figure1["sssp"].items():
+        assert speedup > 1.0, f"ordered SSSP must beat Bellman-Ford on {name}"
+    for name, speedup in figure1["kcore"].items():
+        assert speedup > 1.0, f"ordered k-core must beat unordered on {name}"
+    road = min(figure1["sssp"][name] for name in ("GE", "RD"))
+    social = max(figure1["sssp"][name] for name in ("LJ", "OK", "TW"))
+    assert road > social, (
+        "road networks must show larger ordered-vs-unordered SSSP gains "
+        "than social networks"
+    )
+    benchmark.extra_info["sssp_speedups"] = {
+        k: round(v, 2) for k, v in figure1["sssp"].items()
+    }
+    benchmark.extra_info["kcore_speedups"] = {
+        k: round(v, 2) for k, v in figure1["kcore"].items()
+    }

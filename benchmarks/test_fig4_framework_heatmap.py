@@ -1,0 +1,102 @@
+"""Figure 4: heatmap of framework slowdowns vs the fastest framework.
+
+The paper's Figure 4 shows, for SSSP, PPSP, k-core, and SetCover on
+Twitter (TW), LiveJournal (LJ), and RoadUSA (RD), each framework's slowdown
+relative to the fastest framework for that cell (1.0 = fastest; gray =
+unsupported).
+
+Expected shape: GraphIt is at or near 1.0 everywhere; Julienne's worst
+cells are SSSP/PPSP on the road network (lazy overheads, the paper shows up
+to 16.9x); Galois supports only the shortest-path algorithms; gray cells
+match the paper's support matrix.
+"""
+
+import pytest
+
+from conftest import fmt
+
+from repro.eval import build_matrix, format_table, slowdown_matrix
+
+FRAMEWORKS = ("graphit", "julienne", "galois")
+ALGORITHMS = ("sssp", "ppsp", "kcore", "setcover")
+GRAPHS = ("TW", "LJ", "RD")
+
+
+@pytest.fixture(scope="module")
+def heatmap():
+    matrix = build_matrix(FRAMEWORKS, ALGORITHMS, GRAPHS, trials=2)
+    return matrix, slowdown_matrix(matrix)
+
+
+def _one_cell():
+    matrix = build_matrix(("graphit",), ("sssp",), ("LJ",), trials=1)
+    return slowdown_matrix(matrix)
+
+
+def test_figure4_heatmap(benchmark, heatmap, save_table):
+    benchmark.pedantic(_one_cell, rounds=1, iterations=1)
+    matrix, slowdowns = heatmap
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        for dataset in GRAPHS:
+            row = [f"{algorithm}/{dataset}"]
+            for framework in FRAMEWORKS:
+                value = slowdowns[(framework, algorithm, dataset)]
+                row.append(fmt(value, 2) if value is not None else "gray")
+            rows.append(row)
+    table = format_table(
+        ["cell"] + list(FRAMEWORKS),
+        rows,
+        title="Figure 4: slowdown vs fastest framework "
+        "(1.0 = fastest, gray = unsupported; simulated parallel time)",
+    )
+    save_table("fig4_framework_heatmap", table)
+
+    # Gray cells match the paper's support matrix.
+    for dataset in GRAPHS:
+        assert slowdowns[("galois", "kcore", dataset)] is None
+        assert slowdowns[("galois", "setcover", dataset)] is None
+
+    # GraphIt is the fastest (or close) in every supported cell.  The one
+    # divergence from the paper: the Galois emulation's approximate ordering
+    # is modeled without scheduler contention, so it can edge ahead of
+    # bucket fusion on road shortest paths (the paper has GraphIt winning
+    # RD by 1.23x over Galois); we tolerate up to 35% there and 10%
+    # everywhere else.  See EXPERIMENTS.md.
+    for algorithm in ALGORITHMS:
+        for dataset in GRAPHS:
+            value = slowdowns[("graphit", algorithm, dataset)]
+            assert value is not None
+            tolerance = (
+                1.35
+                if algorithm in ("sssp", "ppsp") and dataset == "RD"
+                else 1.10
+            )
+            assert value <= tolerance, (
+                f"graphit must be within {tolerance}x of the best on "
+                f"{algorithm}/{dataset}, got {value:.2f}"
+            )
+    # Against the strict-bucketing frameworks GraphIt always wins.
+    for algorithm in ALGORITHMS:
+        for dataset in GRAPHS:
+            graphit_cell = matrix[("graphit", algorithm, dataset)]
+            julienne_cell = matrix[("julienne", algorithm, dataset)]
+            if graphit_cell is not None and julienne_cell is not None:
+                assert (
+                    graphit_cell.simulated_time
+                    <= julienne_cell.simulated_time * 1.02
+                ), f"graphit must beat julienne on {algorithm}/{dataset}"
+
+    # Julienne's lazy overheads hurt most on the road network's SSSP/PPSP.
+    julienne_road = max(
+        slowdowns[("julienne", "sssp", "RD")],
+        slowdowns[("julienne", "ppsp", "RD")],
+    )
+    julienne_social_kcore = slowdowns[("julienne", "kcore", "TW")]
+    assert julienne_road > julienne_social_kcore, (
+        "Julienne's worst cells must be road-network shortest paths"
+    )
+    benchmark.extra_info["julienne_rd_sssp_slowdown"] = round(
+        slowdowns[("julienne", "sssp", "RD")], 2
+    )

@@ -1,0 +1,77 @@
+"""Reproduce Figure 9: one algorithm, three schedules, three C++ programs.
+
+Compiles the Δ-stepping SSSP program of Figure 3 under
+
+    (a) lazy bucket update with SparsePush traversal,
+    (b) lazy bucket update with DensePull traversal, and
+    (c) eager bucket update (plus a fused variant),
+
+writes the generated C++ next to this script, prints the schedule-dependent
+differences, and — when g++ is available — compiles and runs all variants on
+a small road network, checking they agree.
+
+Run:  python examples/compile_to_cpp.py
+"""
+
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro import Schedule, compile_program, dijkstra_reference
+from repro.graph import road_grid, save_edge_list
+from repro.lang import program_source
+
+SCHEDULES = {
+    "lazy_sparsepush": Schedule(priority_update="lazy", delta=4),
+    "lazy_densepull": Schedule(
+        priority_update="lazy", delta=4, direction="DensePull"
+    ),
+    "eager": Schedule(priority_update="eager_no_fusion", delta=4),
+    "eager_fusion": Schedule(priority_update="eager_with_fusion", delta=4),
+}
+
+MARKERS = {
+    "lazy_sparsepush": ["new LazyPriorityQueue", "atomicWriteMin", "bufferVertex"],
+    "lazy_densepull": ["TransposeGraph", "__frontier_map"],
+    "eager": ["local_bins", "shared_indexes", "#pragma omp parallel"],
+    "eager_fusion": ["bucket fusion (Figure 7)"],
+}
+
+out_dir = tempfile.mkdtemp(prefix="repro_fig9_")
+sources = {}
+for name, schedule in SCHEDULES.items():
+    program = compile_program(program_source("sssp"), schedule, backend="cpp")
+    path = os.path.join(out_dir, f"sssp_{name}.cpp")
+    program.write(path)
+    sources[name] = path
+    lines = len(program.source_text.splitlines())
+    found = [marker for marker in MARKERS[name] if marker in program.source_text]
+    print(f"{name:16s} -> {path} ({lines} lines)")
+    print(f"{'':16s}    schedule-specific constructs: {', '.join(found)}")
+
+gxx = shutil.which("g++")
+if gxx is None:
+    print("\ng++ not found; skipping compile-and-run verification")
+else:
+    print("\ncompiling and running all variants on a 20x22 road grid ...")
+    graph = road_grid(20, 22, seed=3)
+    reference = dijkstra_reference(graph, 0)
+    graph_file = os.path.join(out_dir, "road.el")
+    save_edge_list(graph, graph_file)
+    for name, cpp in sources.items():
+        exe = os.path.join(out_dir, name)
+        subprocess.run(
+            [gxx, "-O2", "-std=c++17", "-fopenmp", "-o", exe, cpp], check=True
+        )
+        out = os.path.join(out_dir, f"{name}.out")
+        env = dict(os.environ, REPRO_OUTPUT=out, OMP_NUM_THREADS="4")
+        subprocess.run([exe, graph_file, "0"], check=True, env=env)
+        with open(out) as handle:
+            values = handle.read().split()
+        dist = np.array([int(x) for x in values[1:]], dtype=np.int64)
+        status = "matches Dijkstra" if np.array_equal(dist, reference) else "MISMATCH"
+        print(f"  {name:16s} {status}")
+print(f"\ngenerated sources left in {out_dir}")

@@ -1,0 +1,70 @@
+"""Quickstart: ordered graph processing with the priority-queue extension.
+
+Runs Δ-stepping SSSP three ways on a synthetic social network:
+
+1. through the high-level library API under different schedules,
+2. through the DSL compiler (the paper's Figure 3 program), and
+3. against the unordered Bellman-Ford baseline,
+
+printing the execution profile (rounds, synchronizations, simulated parallel
+time) that explains why the schedules differ.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Schedule, bellman_ford, compile_program, dijkstra_reference, sssp
+from repro.graph import rmat
+from repro.lang import program_source
+
+graph = rmat(12, 16, seed=7)
+source = int(np.argmax(graph.out_degrees()))
+print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+print(f"source: {source} (out-degree {graph.out_degree(source)})\n")
+
+reference = dijkstra_reference(graph, source)
+
+# ----------------------------------------------------------------------
+# 1. Library API under three schedules (Table 2's strategies)
+# ----------------------------------------------------------------------
+print("=== library API: one algorithm, three schedules ===")
+for strategy in ("lazy", "eager_no_fusion", "eager_with_fusion"):
+    schedule = Schedule(priority_update=strategy, delta=32, num_threads=8)
+    result = sssp(graph, source, schedule)
+    assert np.array_equal(result.distances, reference)
+    stats = result.stats
+    print(
+        f"{strategy:18s} rounds={stats.rounds:4d} syncs={stats.global_syncs:4d} "
+        f"bucket_inserts={stats.bucket_inserts:6d} "
+        f"simulated_time={stats.simulated_time():10.0f}"
+    )
+
+# ----------------------------------------------------------------------
+# 2. Unordered baseline (what Figure 1 compares against)
+# ----------------------------------------------------------------------
+unordered = bellman_ford(graph, source, num_threads=8)
+assert np.array_equal(unordered.distances, reference)
+print(
+    f"\n{'bellman-ford':18s} rounds={unordered.stats.rounds:4d} "
+    f"relaxations={unordered.stats.relaxations} "
+    f"simulated_time={unordered.stats.simulated_time():10.0f}"
+)
+
+# ----------------------------------------------------------------------
+# 3. The same algorithm through the DSL compiler (Figure 3)
+# ----------------------------------------------------------------------
+print("\n=== DSL program (Figure 3) compiled with the Python backend ===")
+program = compile_program(
+    program_source("sssp"),
+    Schedule(priority_update="eager_with_fusion", delta=32, num_threads=4),
+)
+run = program.run(["sssp", "<in-memory>", str(source)], graph=graph)
+assert np.array_equal(run.vector("dist"), reference)
+print(
+    f"compiled DSL run: rounds={run.stats.rounds}, "
+    f"fused_rounds={run.stats.fused_rounds}, distances verified against Dijkstra"
+)
+print("\nfirst lines of the generated Python module:")
+for line in program.source_text.splitlines()[:14]:
+    print("   ", line)

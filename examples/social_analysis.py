@@ -1,0 +1,67 @@
+"""Social-network analysis: k-core decomposition and approximate set cover.
+
+These are the paper's two strict-priority algorithms, where the *lazy*
+bucket update strategies win (Table 7): k-core floods each vertex with as
+many priority decrements as it has neighbours on the frontier, so buffering
+them and applying one histogram-reduced update per vertex avoids both
+bucket-churn and atomic contention.
+
+Run:  python examples/social_analysis.py
+"""
+
+import numpy as np
+
+from repro import Schedule, kcore, kcore_reference, setcover, unordered_kcore
+from repro.algorithms import greedy_setcover_reference
+from repro.graph import rmat
+
+graph = rmat(12, 20, seed=9).symmetrized()
+print(f"social network (symmetrized): {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+# ----------------------------------------------------------------------
+# k-core under the three schedules (the Table 7 comparison)
+# ----------------------------------------------------------------------
+print("\n=== k-core decomposition: eager vs lazy vs lazy+histogram ===")
+reference = kcore_reference(graph)
+for strategy in ("eager_no_fusion", "lazy", "lazy_constant_sum"):
+    result = kcore(graph, Schedule(priority_update=strategy, num_threads=8))
+    assert np.array_equal(result.coreness, reference)
+    stats = result.stats
+    print(
+        f"{strategy:18s} bucket_inserts={stats.bucket_inserts:8d} "
+        f"atomics={stats.atomic_ops:8d} "
+        f"simulated_time={stats.simulated_time():11.0f}"
+    )
+best = kcore(graph)  # default: lazy_constant_sum
+print(f"\ndegeneracy (max coreness): {best.degeneracy}")
+values, counts = np.unique(best.coreness, return_counts=True)
+top = ", ".join(f"{v}-core x{c}" for v, c in list(zip(values, counts))[-4:])
+print(f"largest cores: {top}")
+
+# ----------------------------------------------------------------------
+# Ordered vs unordered peeling (the Figure 1 effect)
+# ----------------------------------------------------------------------
+unordered = unordered_kcore(graph, num_threads=8)
+assert np.array_equal(unordered.coreness, reference)
+print(
+    f"\nordered peeling total work:   {best.stats.total_work:10d}\n"
+    f"unordered peeling total work: {unordered.stats.total_work:10d} "
+    f"({unordered.stats.total_work / best.stats.total_work:.1f}x more)"
+)
+
+# ----------------------------------------------------------------------
+# Approximate set cover (bucketed by cost-per-element)
+# ----------------------------------------------------------------------
+print("\n=== approximate set cover ===")
+cover = setcover(graph, seed=3)
+greedy = greedy_setcover_reference(graph)
+assert cover.fully_covered
+print(
+    f"bucketed parallel cover: {cover.cover_size} sets in "
+    f"{cover.stats.rounds} rounds"
+)
+print(f"sequential greedy cover: {greedy.size} sets")
+print(
+    f"quality ratio: {cover.cover_size / greedy.size:.3f} "
+    f"(the paper's algorithm matches greedy up to constant factors)"
+)

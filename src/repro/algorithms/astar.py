@@ -1,0 +1,59 @@
+"""A* search on graphs with planar coordinates.
+
+Section 6.1: A* differs from Δ-stepping only in the priority — instead of
+the current distance, a vertex's priority is the *estimated* total length of
+a source-target path through it, ``dist[v] + h(v)``, where ``h`` is the
+straight-line distance to the target.  Because road edge weights are the
+rounded-up Euclidean length of the edge (see :func:`repro.graph.road_grid`),
+the straight-line estimate never exceeds any true remaining distance, i.e.
+the heuristic is admissible and the computed path length is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.csr import CSRGraph
+from ..midend.schedule import Schedule
+from .common import ShortestPathResult, check_source, run_delta_stepping
+from .sssp import DEFAULT_SSSP_SCHEDULE
+
+__all__ = ["astar", "euclidean_heuristic"]
+
+
+def euclidean_heuristic(graph: CSRGraph, target: int) -> np.ndarray:
+    """Admissible lower bound: floored straight-line distance to ``target``."""
+    if not graph.has_coordinates:
+        raise GraphError("A* requires vertex coordinates (longitude/latitude)")
+    check_source(graph, target, "target")
+    deltas = graph.coordinates - graph.coordinates[target]
+    return np.floor(np.hypot(deltas[:, 0], deltas[:, 1])).astype(np.int64)
+
+
+def astar(
+    graph: CSRGraph,
+    source: int,
+    target: int,
+    schedule: Schedule | None = None,
+    heuristic: np.ndarray | None = None,
+    relaxed_ordering: bool = False,
+) -> ShortestPathResult:
+    """A* shortest path from ``source`` to ``target``.
+
+    ``heuristic`` may override the default Euclidean bound (it must be
+    admissible for the result to be exact).  Priority coarsening applies to
+    the estimated distances, as in the paper's implementation.
+    """
+    if schedule is None:
+        schedule = DEFAULT_SSSP_SCHEDULE
+    if heuristic is None:
+        heuristic = euclidean_heuristic(graph, target)
+    return run_delta_stepping(
+        graph,
+        source,
+        schedule,
+        heuristic=heuristic,
+        target=target,
+        relaxed_ordering=relaxed_ordering,
+    )

@@ -1,0 +1,187 @@
+"""Shared plumbing for the ordered algorithms.
+
+The Δ-stepping family (SSSP, wBFS, PPSP, A*) differs only in its priority
+definition (plain distance vs. distance + heuristic) and stop condition
+(none vs. target finalized); :func:`run_delta_stepping` factors the common
+structure: build the queue for the scheduled bucketing strategy, build the
+matching relaxer, and drive the matching executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..buckets.eager import EagerBucketQueue
+from ..buckets.lazy import LazyBucketQueue
+from ..buckets.relaxed import RelaxedPriorityQueue
+from ..core.executors import (
+    make_min_relaxer,
+    make_min_relaxer_pull,
+    run_eager,
+    run_lazy,
+    run_lazy_pull,
+    run_relaxed,
+)
+from ..errors import GraphError, SchedulingError
+from ..graph.csr import CSRGraph
+from ..graph.properties import INT_MAX
+from ..midend.schedule import Schedule
+from ..runtime.stats import RuntimeStats
+from ..runtime.threads import VirtualThreadPool
+
+__all__ = ["ShortestPathResult", "run_delta_stepping", "check_source", "UNREACHABLE"]
+
+# Public alias for the "no path" sentinel in result distances.
+UNREACHABLE = INT_MAX
+
+
+@dataclass
+class ShortestPathResult:
+    """Distances plus the execution profile of the run."""
+
+    distances: np.ndarray
+    stats: RuntimeStats
+    schedule: Schedule | None
+    source: int
+    target: int | None = None
+
+    @property
+    def target_distance(self) -> int:
+        """Distance to the target (for PPSP / A*); raises without a target."""
+        if self.target is None:
+            raise GraphError("this run had no target vertex")
+        return int(self.distances[self.target])
+
+    def reachable(self) -> np.ndarray:
+        """Boolean mask of vertices reachable from the source."""
+        return self.distances != UNREACHABLE
+
+
+def check_source(graph: CSRGraph, vertex: int, name: str = "source") -> None:
+    if not 0 <= vertex < graph.num_vertices:
+        raise GraphError(
+            f"{name} vertex {vertex} out of range [0, {graph.num_vertices})"
+        )
+
+
+def run_delta_stepping(
+    graph: CSRGraph,
+    source: int,
+    schedule: Schedule,
+    heuristic: np.ndarray | None = None,
+    target: int | None = None,
+    relaxed_ordering: bool = False,
+) -> ShortestPathResult:
+    """Run Δ-stepping (Figures 5-7) under the given schedule.
+
+    Parameters
+    ----------
+    heuristic:
+        Per-vertex admissible lower bound to ``target`` (A*): bucket
+        priorities become ``dist + heuristic`` instead of ``dist``.
+    target:
+        Enables early termination once the current bucket's priority lower
+        bound reaches the best known distance (+ heuristic) of the target —
+        the PPSP/A* stop condition from Section 6.1.
+    relaxed_ordering:
+        Replace strict bucketing with the approximate (Galois-style) queue.
+    """
+    check_source(graph, source)
+    if target is not None:
+        check_source(graph, target, "target")
+    if heuristic is not None and target is None:
+        raise GraphError("a heuristic requires a target vertex")
+    if graph.num_edges and graph.weights.min() < 0:
+        raise GraphError(
+            "Δ-stepping requires non-negative edge weights (a negative "
+            "weight would violate the monotone-priority contract)"
+        )
+    if schedule.uses_histogram:
+        raise SchedulingError(
+            "lazy_constant_sum requires a constant-difference updatePrioritySum "
+            "UDF; shortest-path relaxations are write-min updates"
+        )
+
+    n = graph.num_vertices
+    stats = RuntimeStats(num_threads=schedule.num_threads)
+    pool = VirtualThreadPool(
+        schedule.num_threads, schedule.parallelization, schedule.chunk_size
+    )
+    distances = np.full(n, INT_MAX, dtype=np.int64)
+    distances[source] = 0
+
+    if heuristic is None:
+        priorities = distances
+    else:
+        heuristic = np.asarray(heuristic, dtype=np.int64)
+        if heuristic.shape != (n,):
+            raise GraphError("heuristic must have one entry per vertex")
+        priorities = np.full(n, INT_MAX, dtype=np.int64)
+        priorities[source] = heuristic[source]
+
+    should_stop = None
+    if target is not None:
+        target_queue_holder: list = []
+
+        def should_stop() -> bool:
+            best = distances[target]
+            if best == INT_MAX:
+                return False
+            queue = target_queue_holder[0]
+            target_priority = best if heuristic is None else best + heuristic[target]
+            return queue.get_current_priority() >= target_priority
+
+    if relaxed_ordering:
+        queue = RelaxedPriorityQueue(
+            priorities,
+            delta=schedule.delta,
+            slack=4,
+            stats=stats,
+            initial_vertices=[source],
+        )
+        if target is not None:
+            target_queue_holder.append(queue)
+        relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
+        run_relaxed(graph, queue, relax, pool, stats, should_stop)
+    elif schedule.is_eager:
+        queue = EagerBucketQueue(
+            priorities,
+            delta=schedule.delta,
+            num_threads=schedule.num_threads,
+            stats=stats,
+            initial_vertices=[source],
+        )
+        if target is not None:
+            target_queue_holder.append(queue)
+        relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
+        threshold = schedule.bucket_fusion_threshold if schedule.uses_fusion else 0
+        run_eager(graph, queue, relax, pool, stats, threshold, should_stop)
+    else:
+        queue = LazyBucketQueue(
+            priorities,
+            delta=schedule.delta,
+            num_open_buckets=schedule.num_buckets,
+            stats=stats,
+            initial_vertices=[source],
+        )
+        if target is not None:
+            target_queue_holder.append(queue)
+        if schedule.direction == "DensePull":
+            frontier_map = np.zeros(n, dtype=bool)
+            relax = make_min_relaxer_pull(
+                graph, distances, queue, stats, frontier_map, heuristic
+            )
+            run_lazy_pull(graph, queue, relax, pool, stats, frontier_map, should_stop)
+        else:
+            relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
+            run_lazy(graph, queue, relax, pool, stats, should_stop)
+
+    return ShortestPathResult(
+        distances=distances,
+        stats=stats,
+        schedule=schedule,
+        source=source,
+        target=target,
+    )

@@ -1,0 +1,15 @@
+"""Autotuner: ensemble stochastic search over the schedule space."""
+
+from .search import EnsembleSearch, Trial
+from .space import ScheduleSpace, default_space
+from .tuner import TuningResult, autotune, make_objective
+
+__all__ = [
+    "autotune",
+    "make_objective",
+    "TuningResult",
+    "ScheduleSpace",
+    "default_space",
+    "EnsembleSearch",
+    "Trial",
+]

@@ -1,0 +1,216 @@
+"""Ensemble stochastic search (OpenTuner-inspired, Section 5.3).
+
+The autotuner in the paper is built on OpenTuner and uses "an ensemble of
+search methods, such as the area under curve bandit meta technique".  This
+module implements a compact version of that architecture:
+
+- three *techniques* generate candidate schedules: uniform random sampling,
+  greedy mutation of the incumbent, and Δ bisection (binary-style probing of
+  the coarsening factor, the most sensitive integer parameter), and
+- a multi-armed bandit (UCB1 over per-technique reward = fraction of recent
+  proposals that improved the incumbent) selects which technique proposes
+  the next candidate.
+
+The objective is an arbitrary ``schedule -> cost`` callable; failed or
+invalid configurations score infinity.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import GraphItError
+from ..midend.schedule import Schedule
+from .space import ScheduleSpace
+
+__all__ = ["Trial", "EnsembleSearch"]
+
+
+@dataclass
+class Trial:
+    """One evaluated schedule."""
+
+    schedule: Schedule
+    cost: float
+    technique: str
+    index: int
+
+
+@dataclass
+class _Technique:
+    name: str
+    propose: Callable[[Schedule | None], Schedule]
+    uses: int = 0
+    improvements: int = 0
+
+    def reward(self) -> float:
+        if self.uses == 0:
+            return 1.0
+        return self.improvements / self.uses
+
+
+class EnsembleSearch:
+    """Bandit-scheduled ensemble of schedule-proposal techniques."""
+
+    def __init__(
+        self,
+        space: ScheduleSpace,
+        objective: Callable[[Schedule], float],
+        seed: int = 0,
+        seed_schedules: list[Schedule] | None = None,
+    ):
+        self.space = space
+        self.objective = objective
+        self.rng = np.random.default_rng(seed)
+        # Canonical starting points evaluated before the stochastic loop
+        # (OpenTuner seeds its search the same way); they anchor the greedy
+        # mutation so a 30-40 trial budget cannot miss the right regime.
+        if seed_schedules is None:
+            seed_schedules = self._default_seed_schedules()
+        self.seed_schedules = seed_schedules
+        self.trials: list[Trial] = []
+        self.best: Trial | None = None
+        self._seen: set[tuple] = set()
+        self._techniques = [
+            _Technique("random", self._propose_random),
+            _Technique("greedy-mutation", self._propose_mutation),
+            _Technique("delta-bisection", self._propose_delta_bisection),
+        ]
+
+    # ------------------------------------------------------------------
+    # Techniques
+    # ------------------------------------------------------------------
+    def _propose_random(self, incumbent: Schedule | None) -> Schedule:
+        return self.space.random_schedule(self.rng)
+
+    def _propose_mutation(self, incumbent: Schedule | None) -> Schedule:
+        if incumbent is None:
+            return self.space.random_schedule(self.rng)
+        return self.space.mutate(incumbent, self.rng)
+
+    def _propose_delta_bisection(self, incumbent: Schedule | None) -> Schedule:
+        """Probe Δ geometrically around the incumbent's value."""
+        if incumbent is None or len(self.space.deltas) == 1:
+            return self.space.random_schedule(self.rng)
+        deltas = self.space.deltas
+        index = deltas.index(incumbent.delta) if incumbent.delta in deltas else 0
+        lo, hi = 0, len(deltas) - 1
+        midpoints = sorted({(lo + index) // 2, (index + hi + 1) // 2})
+        choice = int(self.rng.choice(midpoints))
+        return incumbent.with_(delta=deltas[choice])
+
+    # ------------------------------------------------------------------
+    # Bandit selection (UCB1 over improvement rate)
+    # ------------------------------------------------------------------
+    def _select_technique(self) -> _Technique:
+        total = sum(t.uses for t in self._techniques) + 1
+        best_score = -1.0
+        best = self._techniques[0]
+        for technique in self._techniques:
+            exploration = math.sqrt(2.0 * math.log(total) / (technique.uses + 1))
+            score = technique.reward() + exploration
+            if score > best_score:
+                best_score = score
+                best = technique
+        return best
+
+    def _default_seed_schedules(self) -> list[Schedule]:
+        deltas = self.space.deltas
+        probe_deltas = sorted(
+            {deltas[0], deltas[len(deltas) // 2], deltas[-1]}
+        )
+        seeds = []
+        for strategy in self.space.strategies:
+            for delta in probe_deltas:
+                schedule = Schedule(
+                    priority_update=strategy,
+                    delta=delta,
+                    num_threads=self.space.num_threads,
+                )
+                seeds.append(schedule)
+        return seeds
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self, max_trials: int = 40, time_limit: float | None = None
+    ) -> Trial:
+        """Search up to ``max_trials`` evaluations (or until the time limit);
+        returns the best trial."""
+        start = time.perf_counter()
+        for candidate in self.seed_schedules:
+            if len(self.trials) >= max_trials:
+                break
+            key = self._key(candidate)
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            try:
+                cost = float(self.objective(candidate))
+            except GraphItError:
+                cost = float("inf")
+            trial = Trial(
+                schedule=candidate,
+                cost=cost,
+                technique="seed",
+                index=len(self.trials),
+            )
+            self.trials.append(trial)
+            if self.best is None or cost < self.best.cost:
+                self.best = trial
+        attempts = 0
+        while len(self.trials) < max_trials and attempts < max_trials * 10:
+            if time_limit is not None and time.perf_counter() - start > time_limit:
+                break
+            attempts += 1
+            technique = self._select_technique()
+            incumbent = self.best.schedule if self.best is not None else None
+            candidate = technique.propose(incumbent)
+            key = self._key(candidate)
+            if key in self._seen:
+                # Do not waste the trial budget on repeats: fall back to
+                # fresh random samples until an unseen point turns up.
+                for _ in range(25):
+                    candidate = self.space.random_schedule(self.rng)
+                    key = self._key(candidate)
+                    if key not in self._seen:
+                        break
+                else:
+                    continue
+            self._seen.add(key)
+            technique.uses += 1
+            try:
+                cost = float(self.objective(candidate))
+            except GraphItError:
+                cost = float("inf")
+            trial = Trial(
+                schedule=candidate,
+                cost=cost,
+                technique=technique.name,
+                index=len(self.trials),
+            )
+            self.trials.append(trial)
+            if self.best is None or cost < self.best.cost:
+                self.best = trial
+                technique.improvements += 1
+        if self.best is None:
+            raise GraphItError("autotuning evaluated no schedule")
+        return self.best
+
+    @staticmethod
+    def _key(schedule: Schedule) -> tuple:
+        return (
+            schedule.priority_update,
+            schedule.delta,
+            schedule.bucket_fusion_threshold,
+            schedule.num_buckets,
+            schedule.direction,
+            schedule.parallelization,
+            schedule.chunk_size,
+        )

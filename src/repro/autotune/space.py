@@ -1,0 +1,150 @@
+"""The schedule search space for autotuning (Section 5.3).
+
+The space spans the scheduling commands of Table 2 — update strategy, Δ
+(powers of two, up to the paper's 2^17 for road networks), bucket-fusion
+threshold, number of materialized buckets — plus the original GraphIt
+direction and parallelization knobs.  Invalid combinations (eager with
+DensePull, coarsening for strict-priority algorithms) are never generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AutotuneError
+from ..midend.schedule import Schedule
+
+__all__ = ["ScheduleSpace", "default_space"]
+
+
+@dataclass(frozen=True)
+class ScheduleSpace:
+    """Enumerable options per schedule dimension."""
+
+    strategies: tuple[str, ...] = (
+        "eager_with_fusion",
+        "eager_no_fusion",
+        "lazy",
+    )
+    deltas: tuple[int, ...] = tuple(2**k for k in range(0, 18))
+    fusion_thresholds: tuple[int, ...] = (128, 512, 1000, 4096)
+    num_buckets: tuple[int, ...] = (32, 128, 512)
+    directions: tuple[str, ...] = ("SparsePush", "DensePull")
+    parallelizations: tuple[str, ...] = (
+        "dynamic-vertex-parallel",
+        "static-vertex-parallel",
+        "edge-aware-dynamic-vertex-parallel",
+    )
+    num_threads: int = 8
+    chunk_sizes: tuple[int, ...] = (64,)
+
+    def size(self) -> int:
+        """Number of raw combinations (before validity filtering)."""
+        return (
+            len(self.strategies)
+            * len(self.deltas)
+            * len(self.fusion_thresholds)
+            * len(self.num_buckets)
+            * len(self.directions)
+            * len(self.parallelizations)
+            * len(self.chunk_sizes)
+        )
+
+    def random_schedule(self, rng: np.random.Generator) -> Schedule:
+        """Sample a uniformly random *valid* schedule."""
+        strategy = str(rng.choice(self.strategies))
+        direction = str(rng.choice(self.directions))
+        if strategy.startswith("eager"):
+            direction = "SparsePush"
+        return Schedule(
+            priority_update=strategy,
+            delta=int(rng.choice(self.deltas)),
+            bucket_fusion_threshold=int(rng.choice(self.fusion_thresholds)),
+            num_buckets=int(rng.choice(self.num_buckets)),
+            direction=direction,
+            parallelization=str(rng.choice(self.parallelizations)),
+            num_threads=self.num_threads,
+            chunk_size=int(rng.choice(self.chunk_sizes)),
+        )
+
+    def mutate(self, schedule: Schedule, rng: np.random.Generator) -> Schedule:
+        """Change one dimension of ``schedule`` (greedy-mutation move)."""
+        dimensions = [
+            "strategy",
+            "delta",
+            "fusion_threshold",
+            "num_buckets",
+            "direction",
+            "parallelization",
+        ]
+        for _ in range(8):  # retry until the mutation produces a change
+            dimension = str(rng.choice(dimensions))
+            if dimension == "strategy":
+                strategy = str(rng.choice(self.strategies))
+                if strategy == schedule.priority_update:
+                    continue
+                direction = schedule.direction
+                if strategy.startswith("eager"):
+                    direction = "SparsePush"
+                return schedule.with_(
+                    priority_update=strategy, direction=direction
+                )
+            if dimension == "delta":
+                index = self.deltas.index(schedule.delta) if schedule.delta in self.deltas else 0
+                step = int(rng.choice([-2, -1, 1, 2]))
+                new_index = min(max(index + step, 0), len(self.deltas) - 1)
+                if self.deltas[new_index] == schedule.delta:
+                    continue
+                return schedule.with_(delta=self.deltas[new_index])
+            if dimension == "fusion_threshold":
+                value = int(rng.choice(self.fusion_thresholds))
+                if value == schedule.bucket_fusion_threshold:
+                    continue
+                return schedule.with_(bucket_fusion_threshold=value)
+            if dimension == "num_buckets":
+                value = int(rng.choice(self.num_buckets))
+                if value == schedule.num_buckets:
+                    continue
+                return schedule.with_(num_buckets=value)
+            if dimension == "direction":
+                if schedule.is_eager:
+                    continue
+                value = str(rng.choice(self.directions))
+                if value == schedule.direction:
+                    continue
+                return schedule.with_(direction=value)
+            if dimension == "parallelization":
+                value = str(rng.choice(self.parallelizations))
+                if value == schedule.parallelization:
+                    continue
+                return schedule.with_(parallelization=value)
+        return self.random_schedule(rng)
+
+
+def default_space(algorithm: str, num_threads: int = 8) -> ScheduleSpace:
+    """The search space for one of the six algorithms.
+
+    Strict-priority algorithms (k-core, SetCover, wBFS) pin Δ to 1; k-core
+    adds the ``lazy_constant_sum`` strategy; SetCover restricts to the lazy
+    strategies (as in Julienne).
+    """
+    if algorithm in ("sssp", "ppsp", "astar"):
+        return ScheduleSpace(num_threads=num_threads)
+    if algorithm == "wbfs":
+        return ScheduleSpace(deltas=(1,), num_threads=num_threads)
+    if algorithm == "kcore":
+        return ScheduleSpace(
+            strategies=("lazy_constant_sum", "lazy", "eager_no_fusion"),
+            deltas=(1,),
+            num_threads=num_threads,
+        )
+    if algorithm == "setcover":
+        return ScheduleSpace(
+            strategies=("lazy",),
+            deltas=(1,),
+            directions=("SparsePush",),
+            num_threads=num_threads,
+        )
+    raise AutotuneError(f"unknown algorithm {algorithm!r}")

@@ -1,0 +1,121 @@
+"""The autotuner front door: find a high-performance schedule for
+(algorithm, graph) pairs — Section 5.3.
+
+    result = autotune("sssp", graph, source=0, max_trials=40)
+    result.best_schedule    # a Schedule usable with repro.algorithms.sssp
+
+The objective can be wall-clock time or the simulated parallel time (which
+is deterministic, so tests use it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..algorithms.astar import astar
+from ..algorithms.kcore import kcore
+from ..algorithms.ppsp import ppsp
+from ..algorithms.setcover import setcover
+from ..algorithms.sssp import sssp
+from ..algorithms.wbfs import wbfs
+from ..errors import AutotuneError
+from ..graph.csr import CSRGraph
+from ..midend.schedule import Schedule
+from .search import EnsembleSearch, Trial
+from .space import ScheduleSpace, default_space
+
+__all__ = ["TuningResult", "autotune", "make_objective"]
+
+
+@dataclass
+class TuningResult:
+    """Outcome of an autotuning session."""
+
+    best_schedule: Schedule
+    best_cost: float
+    trials: list[Trial]
+    elapsed_seconds: float
+    space_size: int
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+
+def make_objective(
+    algorithm: str,
+    graph: CSRGraph,
+    source: int = 0,
+    target: int | None = None,
+    metric: str = "simulated",
+) -> Callable[[Schedule], float]:
+    """Build the schedule -> cost function for one workload.
+
+    ``metric`` is ``"simulated"`` (deterministic simulated parallel time) or
+    ``"wall"`` (measured wall-clock seconds).
+    """
+    if metric not in ("simulated", "wall"):
+        raise AutotuneError(f"unknown metric {metric!r}")
+    if algorithm in ("ppsp", "astar") and target is None:
+        raise AutotuneError(f"{algorithm} needs a target vertex")
+
+    def run(schedule: Schedule):
+        if algorithm == "sssp":
+            return sssp(graph, source, schedule)
+        if algorithm == "wbfs":
+            return wbfs(graph, source, schedule)
+        if algorithm == "ppsp":
+            if target is None:
+                raise AutotuneError("ppsp needs a target")
+            return ppsp(graph, source, target, schedule)
+        if algorithm == "astar":
+            if target is None:
+                raise AutotuneError("astar needs a target")
+            return astar(graph, source, target, schedule)
+        if algorithm == "kcore":
+            return kcore(graph, schedule)
+        if algorithm == "setcover":
+            return setcover(graph, schedule)
+        raise AutotuneError(f"unknown algorithm {algorithm!r}")
+
+    def objective(schedule: Schedule) -> float:
+        started = time.perf_counter()
+        result = run(schedule)
+        wall = time.perf_counter() - started
+        if metric == "wall":
+            return wall
+        return result.stats.simulated_time()
+
+    return objective
+
+
+def autotune(
+    algorithm: str,
+    graph: CSRGraph,
+    source: int = 0,
+    target: int | None = None,
+    max_trials: int = 40,
+    time_limit: float | None = None,
+    metric: str = "simulated",
+    space: ScheduleSpace | None = None,
+    num_threads: int = 8,
+    seed: int = 0,
+) -> TuningResult:
+    """Stochastically search the schedule space for ``algorithm`` on
+    ``graph`` (the paper reports 30-40 trials typically suffice)."""
+    if space is None:
+        space = default_space(algorithm, num_threads=num_threads)
+    objective = make_objective(algorithm, graph, source, target, metric)
+    search = EnsembleSearch(space, objective, seed=seed)
+    started = time.perf_counter()
+    best = search.run(max_trials=max_trials, time_limit=time_limit)
+    elapsed = time.perf_counter() - started
+    return TuningResult(
+        best_schedule=best.schedule,
+        best_cost=best.cost,
+        trials=search.trials,
+        elapsed_seconds=elapsed,
+        space_size=space.size(),
+    )

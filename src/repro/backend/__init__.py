@@ -1,0 +1,13 @@
+"""Backends: Python code generation (runnable) and C++ code generation."""
+
+from .program import CompiledProgram, RunResult, compile_program
+from .python_backend import generate_python
+from .runtime_support import Context
+
+__all__ = [
+    "compile_program",
+    "CompiledProgram",
+    "RunResult",
+    "generate_python",
+    "Context",
+]

@@ -1,0 +1,118 @@
+"""Standard extern-function bindings for the DSL programs.
+
+The paper notes that A* search and SetCover "need to use long extern
+functions" (Section 6.2); these are this reproduction's equivalents.  Each
+binding has the extern calling convention ``f(ctx, *args)`` where ``ctx`` is
+the generated program's :class:`~repro.backend.runtime_support.Context`:
+
+- ``computeHeuristic`` — fills the A* program's ``h`` vector with the
+  floored straight-line distance to the target (admissible on road graphs).
+- ``initRatios`` / ``processBucket`` — SetCover's setup and per-bucket
+  conflict-resolution round, reusing the library implementation's pieces.
+
+``astar_externs()`` / ``setcover_externs()`` return ready-to-pass dicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.astar import euclidean_heuristic
+from ..algorithms.setcover import (
+    _closed_neighborhood_uncovered,
+    _log_bucket,
+    _resolve_conflicts,
+)
+from ..errors import GraphItError
+
+__all__ = ["astar_externs", "setcover_externs", "collect_setcover_result"]
+
+
+def astar_externs() -> dict:
+    """Externs for the A* DSL program (``computeHeuristic``)."""
+
+    def compute_heuristic(ctx, target):
+        graph = ctx.globals.get("edges")
+        if graph is None or not graph.has_coordinates:
+            raise GraphItError(
+                "computeHeuristic requires the loaded graph to carry "
+                "vertex coordinates"
+            )
+        ctx.globals["h"][:] = euclidean_heuristic(graph, int(target))
+
+    return {"computeHeuristic": compute_heuristic}
+
+
+def setcover_externs(seed: int = 0, retention: float = 0.5) -> dict:
+    """Externs for the SetCover DSL program (``initRatios``,
+    ``processBucket``)."""
+
+    def init_ratios(ctx):
+        graph = ctx.globals["edges"]
+        ctx.globals["ratio"][:] = _log_bucket(
+            graph.out_degrees().astype(np.int64) + 1
+        )
+        ctx.setcover_state = {
+            "covered": np.zeros(graph.num_vertices, dtype=bool),
+            "cover": [],
+            "rng": np.random.default_rng(seed),
+        }
+
+    def process_bucket(ctx, bucket):
+        graph = ctx.globals["edges"]
+        queue = ctx.queues[0]
+        state = ctx.setcover_state
+        covered = state["covered"]
+        bucket = np.asarray(bucket, dtype=np.int64)
+        if bucket.size == 0:
+            return
+        bucket_value = queue.get_current_priority()
+        counts, set_index, elements = _closed_neighborhood_uncovered(
+            graph, bucket, covered
+        )
+        ctx.stats.relaxations += int(elements.size)
+        exhausted = bucket[counts == 0]
+        if exhausted.size:
+            queue.remove_batch(exhausted)
+        log_buckets = _log_bucket(counts)
+        downgraded_mask = (counts > 0) & (log_buckets < bucket_value)
+        downgraded = bucket[downgraded_mask]
+        if downgraded.size:
+            ctx.globals["ratio"][downgraded] = log_buckets[downgraded_mask]
+            queue.buffer_changed_batch(downgraded)
+        active_mask = (counts > 0) & (log_buckets >= bucket_value)
+        if active_mask.any():
+            winners = _resolve_conflicts(
+                bucket,
+                active_mask,
+                counts,
+                set_index,
+                elements,
+                retention,
+                state["rng"],
+                ctx.stats,
+                graph.num_vertices,
+            )
+            chosen = bucket[winners]
+            if chosen.size:
+                state["cover"].append(chosen)
+                covered[elements[winners[set_index]]] = True
+                queue.remove_batch(chosen)
+            losers = bucket[active_mask & ~winners]
+            if losers.size:
+                queue.requeue_batch(losers)
+
+    return {"initRatios": init_ratios, "processBucket": process_bucket}
+
+
+def collect_setcover_result(run_result) -> tuple[np.ndarray, np.ndarray]:
+    """Extract ``(cover, covered)`` from a SetCover DSL run."""
+    state = getattr(run_result.context, "setcover_state", None)
+    if state is None:
+        raise GraphItError("the program did not run the SetCover externs")
+    cover = (
+        np.sort(np.concatenate(state["cover"]))
+        if state["cover"]
+        else np.empty(0, dtype=np.int64)
+    )
+    return cover, state["covered"]

@@ -1,0 +1,122 @@
+"""The public compile API: DSL source + schedule → runnable program.
+
+    from repro import compile_program, Schedule
+
+    program = compile_program(SSSP_SOURCE, Schedule(priority_update="lazy"))
+    result = program.run(["prog", "-", "0"], graph=my_graph)
+    result.globals["dist"]       # the program's distance vector
+    result.stats                 # rounds / syncs / simulated time
+
+``backend="cpp"`` generates C++ source instead (``program.source_text``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CompileError
+from ..graph.csr import CSRGraph
+from ..lang.parser import parse
+from ..midend.schedule import Schedule, SchedulingProgram
+from ..midend.transforms.lowering import CompilationPlan, plan_program
+from ..runtime.stats import RuntimeStats
+from .python_backend import generate_python
+from .runtime_support import Context
+
+__all__ = ["compile_program", "CompiledProgram", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one execution of a compiled program."""
+
+    globals: dict[str, object]
+    stats: RuntimeStats
+    context: Context
+
+    def vector(self, name: str) -> np.ndarray:
+        value = self.globals.get(name)
+        if not isinstance(value, np.ndarray):
+            raise CompileError(f"program global {name!r} is not a vector")
+        return value
+
+
+@dataclass
+class CompiledProgram:
+    """A compiled DSL program: generated source plus its compilation plan."""
+
+    plan: CompilationPlan
+    backend: str
+    source_text: str
+    _entry: Callable | None = field(default=None, repr=False)
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.plan.schedule
+
+    def run(
+        self,
+        args: list[str],
+        graph: CSRGraph | None = None,
+        extern_functions: dict[str, Callable] | None = None,
+    ) -> RunResult:
+        """Execute the program (Python backend only).
+
+        ``args`` plays the role of ``argv`` (``args[0]`` is the program
+        name).  When ``graph`` is given, ``load(...)`` returns it instead of
+        reading a file.
+        """
+        if self.backend != "python":
+            raise CompileError(
+                f"the {self.backend} backend generates source only; "
+                f"compile with backend='python' to run in-process"
+            )
+        context = Context(
+            argv=args,
+            schedule=self.plan.schedule,
+            graph=graph,
+            extern_functions=extern_functions,
+        )
+        program_globals = self._entry(context)
+        context.globals.update(program_globals)
+        return RunResult(
+            globals=program_globals, stats=context.stats, context=context
+        )
+
+    def write(self, path: str) -> None:
+        """Write the generated source to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.source_text)
+
+
+def compile_program(
+    source: str,
+    schedule: Schedule | SchedulingProgram | None = None,
+    backend: str = "python",
+) -> CompiledProgram:
+    """Compile DSL ``source`` under ``schedule`` with the chosen backend.
+
+    ``schedule`` may be a :class:`Schedule`, a :class:`SchedulingProgram`
+    (per-label schedules), or ``None`` — in which case the program's inline
+    ``schedule:`` block applies, falling back to the default schedule.
+    """
+    program_ast = parse(source)
+    plan = plan_program(program_ast, schedule)
+    if backend == "python":
+        text = generate_python(plan)
+        namespace: dict[str, object] = {}
+        code = compile(text, filename="<generated>", mode="exec")
+        exec(code, namespace)  # noqa: S102 - executing our own generated code
+        entry = namespace["program"]
+        return CompiledProgram(
+            plan=plan, backend=backend, source_text=text, _entry=entry
+        )
+    if backend == "cpp":
+        from .cpp_backend import generate_cpp
+
+        text = generate_cpp(plan)
+        return CompiledProgram(plan=plan, backend=backend, source_text=text)
+    raise CompileError(f"unknown backend {backend!r}; expected 'python' or 'cpp'")

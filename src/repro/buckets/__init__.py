@@ -1,0 +1,22 @@
+"""Bucketing substrate: lazy (Julienne-style), eager (GAPBS-style with
+bucket fusion), and relaxed (Galois-style) priority queues."""
+
+from .eager import EagerBucketQueue
+from .interface import (
+    NULL_PRIORITY_HIGHER,
+    NULL_PRIORITY_LOWER,
+    AbstractPriorityQueue,
+    PriorityDirection,
+)
+from .lazy import LazyBucketQueue
+from .relaxed import RelaxedPriorityQueue
+
+__all__ = [
+    "AbstractPriorityQueue",
+    "PriorityDirection",
+    "LazyBucketQueue",
+    "EagerBucketQueue",
+    "RelaxedPriorityQueue",
+    "NULL_PRIORITY_LOWER",
+    "NULL_PRIORITY_HIGHER",
+]

@@ -1,0 +1,255 @@
+"""Eager bucket queue with thread-local buckets and bucket fusion
+(Sections 3.2 and 3.3 of the paper).
+
+Each virtual thread owns a set of local buckets (``local_bins`` in the
+generated code, Figure 9(c)); a priority update immediately inserts the
+vertex into the updating thread's local bucket for its new priority — no
+buffering, no dedup flags.  Extracting the next bucket takes a global
+minimum across threads and gathers their local buckets into a global
+frontier (one global synchronization).
+
+Bucket fusion (Figure 7) lets a thread keep processing its *own* local
+bucket for the current priority without synchronizing, as long as that local
+bucket stays below a size threshold; large local buckets are left for the
+global gather so the work gets redistributed.  The executor drives fusion via
+:meth:`pop_local_bucket`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PriorityQueueError
+from ..runtime.stats import RuntimeStats
+from .interface import AbstractPriorityQueue, PriorityDirection
+
+__all__ = ["EagerBucketQueue"]
+
+
+class EagerBucketQueue(AbstractPriorityQueue):
+    """Bucketing structure with immediate (eager) thread-local bucket updates."""
+
+    def __init__(
+        self,
+        priority_vector: np.ndarray,
+        direction: PriorityDirection | str = PriorityDirection.LOWER_FIRST,
+        delta: int = 1,
+        allow_coarsening: bool = True,
+        num_threads: int = 8,
+        stats: RuntimeStats | None = None,
+        initial_vertices: np.ndarray | list[int] | None = None,
+    ):
+        super().__init__(
+            priority_vector,
+            direction=direction,
+            delta=delta,
+            allow_coarsening=allow_coarsening,
+            stats=stats,
+            initial_vertices=initial_vertices,
+        )
+        if num_threads < 1:
+            raise PriorityQueueError("num_threads must be positive")
+        self.num_threads = int(num_threads)
+        self.stats.num_threads = self.num_threads
+        # local_bins[t] maps order -> list of vertex-id arrays.
+        self._local_bins: list[dict[int, list[np.ndarray]]] = [
+            {} for _ in range(self.num_threads)
+        ]
+        self._active_thread = 0
+
+        if self._initial_vertices.size:
+            orders = np.asarray(
+                self.order_of_value(self.priority_vector[self._initial_vertices])
+            )
+            self._cur_order = None
+            # Initial contents are dealt round-robin across threads so the
+            # first round has work for everyone.
+            for offset, (vertex, order) in enumerate(
+                zip(self._initial_vertices.tolist(), orders.tolist())
+            ):
+                self._insert(offset % self.num_threads, int(vertex), int(order))
+
+    # ------------------------------------------------------------------
+    # Thread context
+    # ------------------------------------------------------------------
+    def set_thread(self, thread_id: int) -> None:
+        """Select which virtual thread's local bins subsequent updates target."""
+        if not 0 <= thread_id < self.num_threads:
+            raise PriorityQueueError(
+                f"thread {thread_id} out of range [0, {self.num_threads})"
+            )
+        self._active_thread = thread_id
+
+    # ------------------------------------------------------------------
+    # Queue state
+    # ------------------------------------------------------------------
+    def finished(self) -> bool:
+        return all(not bins for bins in self._local_bins)
+
+    def min_order(self) -> int | None:
+        """Smallest bucket order present in any thread's local bins."""
+        candidates = [min(bins) for bins in self._local_bins if bins]
+        return min(candidates) if candidates else None
+
+    def dequeue_ready_set(self) -> np.ndarray:
+        """Pick the global minimum bucket and gather every thread's local
+        bucket of that priority into one frontier (Figure 6, line 8).
+
+        Costs one global synchronization per call, charged by the executor.
+        """
+        while True:
+            order = self.min_order()
+            if order is None:
+                return np.empty(0, dtype=np.int64)
+            if self._cur_order is not None and order < self._cur_order:
+                # Purely stale bins below the current bucket: drain and drop
+                # them without moving the current priority backwards.
+                self._gather_order(order)
+                continue
+            self._cur_order = order
+            members = self._gather_order(order)
+            live = self._filter_and_mark_live(members, order)
+            if live.size:
+                self.stats.vertices_processed += int(live.size)
+                return live
+
+    def pop_local_bucket(self, thread_id: int, max_size: int) -> np.ndarray | None:
+        """Fusion support: pop thread ``thread_id``'s local bucket for the
+        *current* priority if it is non-empty and below ``max_size``.
+
+        Returns ``None`` when the local bucket is empty or too large (a large
+        bucket is left in place so the global gather redistributes it across
+        threads — the load-balance threshold of Figure 7, line 16).
+        """
+        if self._cur_order is None:
+            raise PriorityQueueError("pop_local_bucket before any dequeue")
+        bins = self._local_bins[thread_id]
+        chunks = bins.get(self._cur_order)
+        if not chunks:
+            return None
+        size = sum(chunk.size for chunk in chunks)
+        if size >= max_size:
+            return None
+        del bins[self._cur_order]
+        members = np.unique(np.concatenate(chunks))
+        live = self._filter_and_mark_live(members, self._cur_order)
+        if live.size == 0:
+            return None
+        self.stats.vertices_processed += int(live.size)
+        return live
+
+    # ------------------------------------------------------------------
+    # Priority update operators (scalar)
+    # ------------------------------------------------------------------
+    def update_priority_min(self, vertex: int, new_value: int) -> bool:
+        old = int(self.priority_vector[vertex])
+        if new_value >= old:
+            return False
+        if self._is_finalized(vertex):
+            return False
+        self.priority_vector[vertex] = new_value
+        self.stats.priority_updates += 1
+        order = self._clamped_order(int(self.order_of_value(new_value)))
+        self._insert(self._active_thread, vertex, order)
+        return True
+
+    def update_priority_max(self, vertex: int, new_value: int) -> bool:
+        old = int(self.priority_vector[vertex])
+        if old != self.null_priority and new_value <= old:
+            return False
+        if self._is_finalized(vertex):
+            return False
+        self.priority_vector[vertex] = new_value
+        self.stats.priority_updates += 1
+        order = self._clamped_order(int(self.order_of_value(new_value)))
+        self._insert(self._active_thread, vertex, order)
+        return True
+
+    def update_priority_sum(
+        self, vertex: int, sum_diff: int, min_threshold: int | None = None
+    ) -> bool:
+        self._check_sum_sign(sum_diff)
+        if self._is_finalized(vertex):
+            return False
+        old = int(self.priority_vector[vertex])
+        if old == self.null_priority:
+            raise PriorityQueueError(
+                "updatePrioritySum on a vertex with null priority"
+            )
+        new_value = old + sum_diff
+        if min_threshold is not None:
+            if sum_diff < 0:
+                new_value = max(new_value, min_threshold)
+            else:
+                new_value = min(new_value, min_threshold)
+        if new_value == old:
+            return False
+        self.priority_vector[vertex] = new_value
+        self.stats.priority_updates += 1
+        order = self._clamped_order(int(self.order_of_value(new_value)))
+        self._insert(self._active_thread, vertex, order)
+        return True
+
+    # ------------------------------------------------------------------
+    # Batch update (used by the vectorized executors)
+    # ------------------------------------------------------------------
+    def insert_changed_batch(self, thread_id: int, vertices: np.ndarray) -> None:
+        """Insert a batch of vertices whose priorities the caller already
+        updated, into ``thread_id``'s local bins by their new priority.
+
+        Unlike the lazy queue there is no deduplication: every changed vertex
+        costs a bucket insertion (the eager tradeoff the paper measures).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return
+        orders = np.asarray(self.order_of_value(self.priority_vector[vertices]))
+        if self._cur_order is not None:
+            below = orders < self._cur_order
+            self.priority_inversions += int(np.count_nonzero(below))
+            orders = np.maximum(orders, self._cur_order)
+        bins = self._local_bins[thread_id]
+        self.stats.bucket_inserts += int(vertices.size)
+        for order in np.unique(orders):
+            members = vertices[orders == order]
+            bins.setdefault(int(order), []).append(members)
+
+    def insert_batch_at(
+        self, thread_id: int, vertices: np.ndarray, orders: np.ndarray
+    ) -> None:
+        """Raw insertion at explicit orders (no clamping, no priority read).
+
+        Used by eager constant-sum algorithms (k-core): every unit decrement
+        of a vertex's priority is a separate bucket insertion, so the vertex
+        leaves a stale copy in each intermediate bucket — the churn that
+        makes eager k-core slow (Table 7).  Callers must pass orders that are
+        not below the current bucket.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        orders = np.asarray(orders, dtype=np.int64)
+        if vertices.size == 0:
+            return
+        bins = self._local_bins[thread_id]
+        self.stats.bucket_inserts += int(vertices.size)
+        for order in np.unique(orders):
+            members = vertices[orders == order]
+            bins.setdefault(int(order), []).append(members)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _insert(self, thread_id: int, vertex: int, order: int) -> None:
+        self.stats.bucket_inserts += 1
+        self._local_bins[thread_id].setdefault(order, []).append(
+            np.array([vertex], dtype=np.int64)
+        )
+
+    def _gather_order(self, order: int) -> np.ndarray:
+        chunks: list[np.ndarray] = []
+        for bins in self._local_bins:
+            thread_chunks = bins.pop(order, None)
+            if thread_chunks:
+                chunks.extend(thread_chunks)
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))

@@ -1,0 +1,136 @@
+"""Approximate (relaxed) priority ordering, emulating Galois' ordered list.
+
+Galois (Section 7, "Approximate Priority Ordering") processes work from
+several relaxed priority queues without synchronizing globally after each
+priority: threads may run ahead on slightly-out-of-order work.  The win is
+far fewer global synchronizations; the cost is lost work-efficiency, because
+a vertex processed before its priority is final gets re-processed after a
+better update arrives.
+
+The emulation keeps order-indexed bins like the eager queue but dequeues a
+bounded *chunk* spanning the ``slack`` smallest orders, without any
+stale-entry filtering and without a per-priority barrier — the executor
+charges one synchronization only when the window of orders moves.  Strict
+ordering is unavailable, which is why this queue (like Galois) cannot run
+k-core or SetCover; it raises on ``updatePrioritySum``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PriorityQueueError
+from ..runtime.stats import RuntimeStats
+from .interface import AbstractPriorityQueue, PriorityDirection
+
+__all__ = ["RelaxedPriorityQueue"]
+
+
+class RelaxedPriorityQueue(AbstractPriorityQueue):
+    """A relaxed multi-bin queue: approximately ordered, cheaply synchronized."""
+
+    def __init__(
+        self,
+        priority_vector: np.ndarray,
+        direction: PriorityDirection | str = PriorityDirection.LOWER_FIRST,
+        delta: int = 1,
+        allow_coarsening: bool = True,
+        slack: int = 2,
+        chunk_size: int = 1024,
+        stats: RuntimeStats | None = None,
+        initial_vertices: np.ndarray | list[int] | None = None,
+    ):
+        super().__init__(
+            priority_vector,
+            direction=direction,
+            delta=delta,
+            allow_coarsening=allow_coarsening,
+            stats=stats,
+            initial_vertices=initial_vertices,
+        )
+        if slack < 1:
+            raise PriorityQueueError("slack must be >= 1")
+        if chunk_size < 1:
+            raise PriorityQueueError("chunk_size must be >= 1")
+        self.slack = int(slack)
+        self.chunk_size = int(chunk_size)
+        self._bins: dict[int, list[np.ndarray]] = {}
+        if self._initial_vertices.size:
+            orders = np.asarray(
+                self.order_of_value(self.priority_vector[self._initial_vertices])
+            )
+            for order in np.unique(orders):
+                members = self._initial_vertices[orders == order]
+                self._bins.setdefault(int(order), []).append(members)
+
+    def finished(self) -> bool:
+        return not self._bins
+
+    def dequeue_ready_set(self) -> np.ndarray:
+        """Pop up to ``chunk_size`` vertices from the ``slack`` smallest
+        orders — approximately ordered, duplicates and stale entries kept
+        (they are the work-efficiency loss the paper attributes to Galois)."""
+        if not self._bins:
+            return np.empty(0, dtype=np.int64)
+        window = sorted(self._bins)[: self.slack]
+        self._cur_order = window[0]
+        popped: list[np.ndarray] = []
+        budget = self.chunk_size
+        for order in window:
+            chunks = self._bins[order]
+            while chunks and budget > 0:
+                chunk = chunks.pop()
+                if chunk.size > budget:
+                    chunks.append(chunk[budget:])
+                    chunk = chunk[:budget]
+                popped.append(chunk)
+                budget -= chunk.size
+            if not chunks:
+                del self._bins[order]
+            if budget == 0:
+                break
+        members = np.concatenate(popped) if popped else np.empty(0, dtype=np.int64)
+        self.stats.vertices_processed += int(members.size)
+        return members
+
+    def update_priority_min(self, vertex: int, new_value: int) -> bool:
+        old = int(self.priority_vector[vertex])
+        if new_value >= old:
+            return False
+        self.priority_vector[vertex] = new_value
+        self.stats.priority_updates += 1
+        self._insert(vertex, int(self.order_of_value(new_value)))
+        return True
+
+    def update_priority_max(self, vertex: int, new_value: int) -> bool:
+        old = int(self.priority_vector[vertex])
+        if old != self.null_priority and new_value <= old:
+            return False
+        self.priority_vector[vertex] = new_value
+        self.stats.priority_updates += 1
+        self._insert(vertex, int(self.order_of_value(new_value)))
+        return True
+
+    def update_priority_sum(
+        self, vertex: int, sum_diff: int, min_threshold: int | None = None
+    ) -> bool:
+        raise PriorityQueueError(
+            "approximate priority ordering cannot run algorithms that need "
+            "strict per-priority synchronization (k-core, SetCover) — "
+            "matching Galois' limitation described in the paper"
+        )
+
+    def insert_changed_batch(self, vertices: np.ndarray) -> None:
+        """Batch insertion of already-updated vertices (vectorized path)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return
+        orders = np.asarray(self.order_of_value(self.priority_vector[vertices]))
+        self.stats.bucket_inserts += int(vertices.size)
+        for order in np.unique(orders):
+            members = vertices[orders == order]
+            self._bins.setdefault(int(order), []).append(members)
+
+    def _insert(self, vertex: int, order: int) -> None:
+        self.stats.bucket_inserts += 1
+        self._bins.setdefault(order, []).append(np.array([vertex], dtype=np.int64))

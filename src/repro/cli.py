@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the GraphIt compiler's command-line workflow:
+
+- ``compile`` — compile a DSL program (a ``.gt`` file or one of the built-in
+  benchmark programs) under a schedule, to Python or C++ source.
+- ``run`` — compile with the Python backend and execute on a graph file,
+  printing the execution profile and result summary.
+- ``generate`` — produce a synthetic graph file (R-MAT or road grid) in the
+  edge-list format both backends load.
+- ``autotune`` — search for a schedule for an algorithm/graph pair.
+
+Examples::
+
+    python -m repro generate rmat --scale 10 -o social.el
+    python -m repro compile sssp --priority-update lazy --delta 4 --backend cpp -o sssp.cpp
+    python -m repro run sssp social.el 0 --priority-update eager_with_fusion --delta 32
+    python -m repro autotune sssp social.el --trials 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from .autotune import autotune
+from .backend import compile_program
+from .errors import GraphItError
+from .graph.generators import rmat, road_grid
+from .graph.io import load_edge_list, load_npz, save_edge_list
+from .lang.programs import ALL_PROGRAMS
+from .midend.schedule import Schedule
+
+__all__ = ["main"]
+
+
+def _add_schedule_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("schedule (Table 2)")
+    group.add_argument(
+        "--priority-update",
+        default="eager_no_fusion",
+        choices=("eager_with_fusion", "eager_no_fusion", "lazy", "lazy_constant_sum"),
+        help="bucket update strategy (configApplyPriorityUpdate)",
+    )
+    group.add_argument(
+        "--delta", type=int, default=1, help="priority coarsening factor Δ"
+    )
+    group.add_argument(
+        "--fusion-threshold",
+        type=int,
+        default=1000,
+        help="bucket fusion size threshold (configBucketFusionThreshold)",
+    )
+    group.add_argument(
+        "--num-buckets",
+        type=int,
+        default=128,
+        help="materialized buckets for the lazy strategies (configNumBuckets)",
+    )
+    group.add_argument(
+        "--direction",
+        default="SparsePush",
+        choices=("SparsePush", "DensePull"),
+        help="edge traversal direction (configApplyDirection)",
+    )
+    group.add_argument("--threads", type=int, default=8, help="virtual threads")
+
+
+def _schedule_from_args(args: argparse.Namespace) -> Schedule:
+    return Schedule(
+        priority_update=args.priority_update,
+        delta=args.delta,
+        bucket_fusion_threshold=args.fusion_threshold,
+        num_buckets=args.num_buckets,
+        direction=args.direction,
+        num_threads=args.threads,
+    )
+
+
+def _load_source(program: str) -> str:
+    if program in ALL_PROGRAMS:
+        return ALL_PROGRAMS[program]
+    if os.path.exists(program):
+        with open(program, "r", encoding="utf-8") as handle:
+            return handle.read()
+    raise GraphItError(
+        f"{program!r} is neither a built-in program "
+        f"({', '.join(sorted(ALL_PROGRAMS))}) nor a readable file"
+    )
+
+
+def _load_graph(path: str):
+    if path.endswith(".npz"):
+        return load_npz(path)
+    return load_edge_list(path)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = _load_source(args.program)
+    program = compile_program(source, _schedule_from_args(args), backend=args.backend)
+    if args.output:
+        program.write(args.output)
+        print(f"wrote {args.backend} source to {args.output}")
+    else:
+        sys.stdout.write(program.source_text)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = _load_source(args.program)
+    program = compile_program(source, _schedule_from_args(args))
+    result = program.run([args.program, args.graph, *args.args])
+    stats = result.stats
+    print(
+        f"rounds={stats.rounds} fused={stats.fused_rounds} "
+        f"syncs={stats.global_syncs} relaxations={stats.relaxations} "
+        f"simulated_time={stats.simulated_time():.0f}"
+    )
+    for name, value in sorted(result.globals.items()):
+        if isinstance(value, np.ndarray):
+            finite = value[np.abs(value) < 2**62]
+            summary = (
+                f"min={finite.min()} max={finite.max()}" if finite.size else "empty"
+            )
+            print(f"vector {name}: size={value.size} {summary}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "rmat":
+        graph = rmat(args.scale, args.edge_factor, seed=args.seed)
+    else:
+        side = max(2, int(round((1 << args.scale) ** 0.5)))
+        graph = road_grid(side, side, seed=args.seed)
+    save_edge_list(graph, args.output)
+    print(
+        f"wrote {args.kind} graph ({graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    result = autotune(
+        args.algorithm,
+        graph,
+        source=args.source,
+        target=args.target,
+        max_trials=args.trials,
+        num_threads=args.threads,
+        seed=args.seed,
+    )
+    best = result.best_schedule
+    print(
+        f"best schedule after {result.num_trials} trials "
+        f"(space ~{result.space_size:,}):"
+    )
+    print(
+        f"  priority_update={best.priority_update} delta={best.delta} "
+        f"direction={best.direction} fusion_threshold="
+        f"{best.bucket_fusion_threshold} num_buckets={best.num_buckets}"
+    )
+    print(f"  simulated cost: {result.best_cost:,.0f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GraphIt priority-extension reproduction (CGO 2020)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile a DSL program to Python or C++ source"
+    )
+    compile_parser.add_argument(
+        "program", help=f"a .gt file or one of: {', '.join(sorted(ALL_PROGRAMS))}"
+    )
+    compile_parser.add_argument(
+        "--backend", default="python", choices=("python", "cpp")
+    )
+    compile_parser.add_argument("-o", "--output", help="output file (default stdout)")
+    _add_schedule_arguments(compile_parser)
+    compile_parser.set_defaults(handler=_cmd_compile)
+
+    run_parser = commands.add_parser(
+        "run", help="compile (Python backend) and run on a graph file"
+    )
+    run_parser.add_argument("program")
+    run_parser.add_argument("graph", help="edge-list (.el) or .npz graph file")
+    run_parser.add_argument(
+        "args", nargs="*", help="extra argv for the program (e.g. start vertex)"
+    )
+    _add_schedule_arguments(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    generate_parser = commands.add_parser(
+        "generate", help="generate a synthetic graph file"
+    )
+    generate_parser.add_argument("kind", choices=("rmat", "road"))
+    generate_parser.add_argument("--scale", type=int, default=10)
+    generate_parser.add_argument("--edge-factor", type=int, default=16)
+    generate_parser.add_argument("--seed", type=int, default=0)
+    generate_parser.add_argument("-o", "--output", required=True)
+    generate_parser.set_defaults(handler=_cmd_generate)
+
+    autotune_parser = commands.add_parser(
+        "autotune", help="search for a schedule for an algorithm/graph pair"
+    )
+    autotune_parser.add_argument(
+        "algorithm",
+        choices=("sssp", "wbfs", "ppsp", "astar", "kcore", "setcover"),
+    )
+    autotune_parser.add_argument("graph")
+    autotune_parser.add_argument("--source", type=int, default=0)
+    autotune_parser.add_argument("--target", type=int, default=None)
+    autotune_parser.add_argument("--trials", type=int, default=40)
+    autotune_parser.add_argument("--threads", type=int, default=8)
+    autotune_parser.add_argument("--seed", type=int, default=0)
+    autotune_parser.set_defaults(handler=_cmd_autotune)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except GraphItError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1

@@ -1,0 +1,389 @@
+"""Ordered-processing executors: the runtime form of the dequeue loop.
+
+Section 5.2 of the paper describes how the compiler replaces the user's
+
+    while (pq.finished() == false)
+        var bucket = pq.dequeueReadySet();
+        edges.from(bucket).applyUpdatePriority(udf);
+
+loop with an *ordered processing operator* backed by an optimized runtime
+library.  These functions are that library.  Each drives one bucketing
+strategy:
+
+- :func:`run_eager` — thread-local buckets, optional **bucket fusion**
+  (Figure 7): after draining its share of the global bucket, a thread keeps
+  processing its own local bucket for the current priority, with no global
+  synchronization, while that bucket stays under the size threshold.
+- :func:`run_lazy` — buffered bucket updates reduced once per round
+  (Figure 5); costs two global synchronizations per round (buffer reduction
+  + round barrier).
+- :func:`run_lazy_histogram` — the lazy-with-constant-sum strategy
+  (Figure 10): per-round neighbour histogram, one transformed update per
+  vertex.
+- :func:`run_relaxed` — approximate priority ordering (Galois emulation):
+  chunked processing with synchronization only at priority-window advances.
+
+Executors are generic over a *relaxer*: a callable
+``relax(chunk, thread_id) -> work_units`` that processes the out-edges of the
+chunk's vertices and routes priority changes into the queue.  The relaxers
+for min-updates (SSSP/wBFS/PPSP/A*) are built by :func:`make_min_relaxer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..buckets.eager import EagerBucketQueue
+from ..buckets.lazy import LazyBucketQueue
+from ..buckets.relaxed import RelaxedPriorityQueue
+from ..errors import CompileError
+from ..graph.csr import CSRGraph
+from ..runtime.frontier import gather_out_edges
+from ..runtime.histogram import histogram_counts
+from ..runtime.stats import RuntimeStats
+from ..runtime.threads import VirtualThreadPool
+
+__all__ = [
+    "Relaxer",
+    "make_min_relaxer",
+    "make_min_relaxer_pull",
+    "run_eager",
+    "run_lazy",
+    "run_lazy_pull",
+    "run_lazy_histogram",
+    "run_relaxed",
+]
+
+
+class Relaxer(Protocol):
+    """Processes the out-edges of ``chunk`` as virtual thread ``thread_id``.
+
+    Returns the number of work units performed (edges traversed plus bucket
+    operations), which the executor charges to the thread for the
+    simulated-time cost model.
+    """
+
+    def __call__(self, chunk: np.ndarray, thread_id: int) -> int: ...
+
+
+def make_min_relaxer(
+    graph: CSRGraph,
+    distances: np.ndarray,
+    queue,
+    stats: RuntimeStats,
+    heuristic: np.ndarray | None = None,
+) -> Relaxer:
+    """Vectorized edge relaxation with write-min semantics.
+
+    Implements the ``updateEdge`` UDF of Figure 3: for each out-edge
+    ``(src, dst, w)`` of the chunk, propose ``dist[src] + w`` and keep the
+    minimum.  Destinations whose distance improved are routed into the
+    queue's buckets — eagerly into the calling thread's local bins for an
+    :class:`EagerBucketQueue`, or through the dedup-flagged update buffer for
+    a :class:`LazyBucketQueue`.
+
+    Parameters
+    ----------
+    heuristic:
+        Optional per-vertex lower bound to the target (A* search): the
+        queue's priority vector is then ``dist + heuristic`` rather than
+        ``dist`` itself, and is refreshed for every improved vertex.
+    """
+    eager = isinstance(queue, EagerBucketQueue)
+    relaxed = isinstance(queue, RelaxedPriorityQueue)
+    priorities = queue.priority_vector
+
+    def relax(chunk: np.ndarray, thread_id: int) -> int:
+        sources, dests, weights = gather_out_edges(graph, chunk)
+        if sources.size == 0:
+            return 0
+        stats.relaxations += int(sources.size)
+        candidates = distances[sources] + weights
+        old = distances[dests].copy()
+        np.minimum.at(distances, dests, candidates)
+        stats.atomic_ops += int(dests.size)
+        improved = distances[dests] < old
+        changed = np.unique(dests[improved])
+        if changed.size:
+            stats.priority_updates += int(changed.size)
+            if heuristic is not None:
+                priorities[changed] = distances[changed] + heuristic[changed]
+            if eager:
+                queue.insert_changed_batch(thread_id, changed)
+            elif relaxed:
+                queue.insert_changed_batch(changed)
+            else:
+                queue.buffer_changed_batch(changed)
+        return int(sources.size) + int(changed.size)
+
+    return relax
+
+
+StopCondition = Callable[[], bool]
+
+
+def run_eager(
+    graph: CSRGraph,
+    queue: EagerBucketQueue,
+    relax: Relaxer,
+    pool: VirtualThreadPool,
+    stats: RuntimeStats,
+    fusion_threshold: int = 0,
+    should_stop: StopCondition | None = None,
+) -> None:
+    """Drive the eager ordered-processing loop (Figures 6 and 7).
+
+    ``fusion_threshold > 0`` enables bucket fusion with that size threshold;
+    0 reproduces plain GAPBS-style eager processing.
+    """
+    if pool.num_threads != queue.num_threads:
+        raise CompileError(
+            "thread pool and eager queue disagree on the number of threads"
+        )
+    degrees = graph.out_degrees()
+    while True:
+        frontier = queue.dequeue_ready_set()
+        if frontier.size == 0:
+            break
+        if should_stop is not None and should_stop():
+            break
+        stats.begin_round()
+        fused = 0
+        chunks = pool.partition(frontier, degrees=degrees[frontier])
+        for thread_id, chunk in enumerate(chunks):
+            if chunk.size == 0:
+                continue
+            if hasattr(queue, "set_thread"):
+                queue.set_thread(thread_id)
+            # Re-filter against the current priority: another thread of this
+            # round may have already improved a vertex past this bucket
+            # (the dist >= Δ * bucket check in GAPBS).
+            live = chunk[
+                np.asarray(queue.order_of_value(queue.priority_vector[chunk]))
+                == queue.current_order
+            ]
+            stats.add_thread_work(thread_id, relax(live, thread_id))
+            if fusion_threshold > 0:
+                # Figure 7, lines 14-20: keep draining this thread's local
+                # bucket for the current priority without synchronizing.
+                while True:
+                    local = queue.pop_local_bucket(thread_id, fusion_threshold)
+                    if local is None:
+                        break
+                    fused += 1
+                    stats.add_thread_work(thread_id, relax(local, thread_id))
+        stats.end_round(syncs=1, fused=fused)
+
+
+def run_lazy(
+    graph: CSRGraph,
+    queue: LazyBucketQueue,
+    relax: Relaxer,
+    pool: VirtualThreadPool,
+    stats: RuntimeStats,
+    should_stop: StopCondition | None = None,
+    round_overhead: Callable[[np.ndarray], int] | None = None,
+) -> None:
+    """Drive the lazy ordered-processing loop (Figure 5).
+
+    Each round costs two global synchronizations: one to reduce the update
+    buffer into per-vertex bucket updates, one at the round barrier.
+    ``round_overhead(frontier)`` charges extra per-round work, distributed
+    evenly across threads — used by the Julienne emulation to model its
+    per-round out-degree reduction for the direction optimization.
+    """
+    stats.num_threads = pool.num_threads
+    degrees = graph.out_degrees()
+    while True:
+        frontier = queue.dequeue_ready_set()
+        if frontier.size == 0:
+            break
+        if should_stop is not None and should_stop():
+            break
+        stats.begin_round()
+        if round_overhead is not None:
+            _charge_evenly(stats, pool.num_threads, round_overhead(frontier))
+        chunks = pool.partition(frontier, degrees=degrees[frontier])
+        for thread_id, chunk in enumerate(chunks):
+            if chunk.size:
+                stats.add_thread_work(thread_id, relax(chunk, thread_id))
+        stats.end_round(syncs=2)
+
+
+def _charge_evenly(stats: RuntimeStats, num_threads: int, units: int) -> None:
+    """Charge ``units`` of work spread evenly across all threads."""
+    if units <= 0:
+        return
+    per_thread = units // num_threads + 1
+    for thread_id in range(num_threads):
+        stats.add_thread_work(thread_id, per_thread)
+
+
+def make_min_relaxer_pull(
+    graph: CSRGraph,
+    distances: np.ndarray,
+    queue: LazyBucketQueue,
+    stats: RuntimeStats,
+    frontier_map: np.ndarray,
+    heuristic: np.ndarray | None = None,
+):
+    """Pull-direction write-min relaxation (Figure 9(b), DensePull).
+
+    Each virtual thread owns a chunk of *destination* vertices and scans
+    their in-edges, accepting contributions only from frontier sources.  No
+    atomics are needed: a destination is written exclusively by its owner
+    (the paper's dependence analysis drops the ``atomicWriteMin`` here).
+    ``frontier_map`` is a persistent boolean array the executor refreshes
+    each round.
+    """
+    from ..runtime.frontier import gather_in_edges
+
+    priorities = queue.priority_vector
+
+    def relax(dest_chunk: np.ndarray, thread_id: int) -> int:
+        sources, dests, weights = gather_in_edges(graph, dest_chunk)
+        if sources.size == 0:
+            return 0
+        stats.relaxations += int(sources.size)
+        on_frontier = frontier_map[sources]
+        sources = sources[on_frontier]
+        dests = dests[on_frontier]
+        weights = weights[on_frontier]
+        if sources.size == 0:
+            return int(on_frontier.size)
+        candidates = distances[sources] + weights
+        old = distances[dests].copy()
+        np.minimum.at(distances, dests, candidates)
+        improved = distances[dests] < old
+        changed = np.unique(dests[improved])
+        if changed.size:
+            stats.priority_updates += int(changed.size)
+            if heuristic is not None:
+                priorities[changed] = distances[changed] + heuristic[changed]
+            queue.buffer_changed_batch(changed)
+        return int(on_frontier.size) + int(changed.size)
+
+    return relax
+
+
+def run_lazy_pull(
+    graph: CSRGraph,
+    queue: LazyBucketQueue,
+    relax_pull: Relaxer,
+    pool: VirtualThreadPool,
+    stats: RuntimeStats,
+    frontier_map: np.ndarray,
+    should_stop: StopCondition | None = None,
+) -> None:
+    """Drive the lazy loop with DensePull traversal (Figure 9(b)).
+
+    Every round scans all vertices' in-edges against a dense frontier map —
+    the layout cost the direction optimization trades against atomic-free
+    updates.  ``frontier_map`` must be a zeroed boolean array of size |V|
+    shared with the relaxer.
+    """
+    stats.num_threads = pool.num_threads
+    all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
+    in_degrees = graph.in_degrees()
+    while True:
+        frontier = queue.dequeue_ready_set()
+        if frontier.size == 0:
+            break
+        if should_stop is not None and should_stop():
+            break
+        frontier_map.fill(False)
+        frontier_map[frontier] = True
+        stats.begin_round()
+        chunks = pool.partition(all_vertices, degrees=in_degrees)
+        for thread_id, chunk in enumerate(chunks):
+            if chunk.size:
+                stats.add_thread_work(thread_id, relax_pull(chunk, thread_id))
+        stats.end_round(syncs=2)
+
+
+def run_lazy_histogram(
+    graph: CSRGraph,
+    queue: LazyBucketQueue,
+    stats: RuntimeStats,
+    pool: VirtualThreadPool,
+    constant: int,
+    on_bucket: Callable[[np.ndarray, int], None] | None = None,
+    should_stop: StopCondition | None = None,
+    round_overhead: Callable[[np.ndarray], int] | None = None,
+) -> None:
+    """Drive the lazy-with-constant-sum loop (Section 5.1, Figure 10).
+
+    For every dequeued bucket, gathers the out-neighbours of its vertices,
+    histograms them, and applies the transformed constant-sum update
+    ``priority = clamp(priority + constant * count, current_priority)`` once
+    per distinct neighbour.  ``on_bucket(bucket, priority)`` lets algorithms
+    record results (k-core stores coreness = current priority).
+    """
+    stats.num_threads = pool.num_threads
+    while True:
+        bucket = queue.dequeue_ready_set()
+        if bucket.size == 0:
+            break
+        if should_stop is not None and should_stop():
+            break
+        current_priority = queue.get_current_priority()
+        if on_bucket is not None:
+            on_bucket(bucket, current_priority)
+        stats.begin_round()
+        if round_overhead is not None:
+            _charge_evenly(stats, pool.num_threads, round_overhead(bucket))
+        _, neighbors, _ = gather_out_edges(graph, bucket)
+        stats.relaxations += int(neighbors.size)
+        vertices, counts = histogram_counts(neighbors, stats)
+        queue.apply_histogram_updates(vertices, counts, constant, current_priority)
+        # The histogram build and the per-vertex application parallelize
+        # across threads; charge the work as evenly distributed.
+        per_thread = (int(neighbors.size) + int(vertices.size)) // pool.num_threads + 1
+        for thread_id in range(pool.num_threads):
+            stats.add_thread_work(thread_id, per_thread)
+        stats.end_round(syncs=2)
+
+
+def run_relaxed(
+    graph: CSRGraph,
+    queue: RelaxedPriorityQueue,
+    relax: Relaxer,
+    pool: VirtualThreadPool,
+    stats: RuntimeStats,
+    should_stop: StopCondition | None = None,
+) -> None:
+    """Drive approximately-ordered processing (Galois emulation).
+
+    There is no per-priority barrier: a global synchronization is charged
+    only when the priority window advances, modelling Galois' ordered-list
+    scheduler.  Work-efficiency is lost instead (stale and duplicate entries
+    are processed), which the relaxation counters expose.
+    """
+    stats.num_threads = pool.num_threads
+    degrees = graph.out_degrees()
+    previous_order: int | None = None
+    rounds_since_sync = 0
+    while True:
+        frontier = queue.dequeue_ready_set()
+        if frontier.size == 0:
+            break
+        if should_stop is not None and should_stop():
+            break
+        stats.begin_round()
+        chunks = pool.partition(frontier, degrees=degrees[frontier])
+        for thread_id, chunk in enumerate(chunks):
+            if chunk.size:
+                stats.add_thread_work(thread_id, relax(chunk, thread_id))
+        # A synchronization is charged when the priority window advances and
+        # periodically for distributed termination detection (Galois'
+        # scheduler is cheap but not free).
+        advanced = queue.current_order != previous_order
+        previous_order = queue.current_order
+        rounds_since_sync += 1
+        syncs = 0
+        if advanced or rounds_since_sync >= 8:
+            syncs = 1
+            rounds_since_sync = 0
+        stats.end_round(syncs=syncs)

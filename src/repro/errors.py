@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`GraphItError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish frontend, scheduling, and runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class GraphItError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(GraphItError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class ParseError(GraphItError):
+    """Raised by the lexer/parser on malformed DSL input.
+
+    Carries the 1-based source ``line`` and ``column`` of the offending token
+    when available, so error messages can point at the source location.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class TypeCheckError(GraphItError):
+    """Raised by the type checker on ill-typed DSL programs."""
+
+
+class SchedulingError(GraphItError):
+    """Raised for invalid schedules or illegal optimization combinations."""
+
+
+class CompileError(GraphItError):
+    """Raised when the midend or a backend cannot lower a program."""
+
+
+class PriorityQueueError(GraphItError):
+    """Raised for invalid priority-queue operations.
+
+    The most important case is a violation of the monotonicity contract from
+    Section 2 of the paper: priorities may only move in the queue's declared
+    direction (decreasing for ``lower_first``, increasing for ``higher_first``).
+    """
+
+
+class AutotuneError(GraphItError):
+    """Raised when autotuning cannot produce a valid schedule."""

@@ -1,0 +1,23 @@
+"""Evaluation harness: datasets, measurement cells, table formatting."""
+
+from . import datasets
+from .harness import (
+    Measurement,
+    build_matrix,
+    format_table,
+    run_cell,
+    slowdown_matrix,
+)
+from .linecount import PAPER_TABLE5, count_lines, dsl_line_counts
+
+__all__ = [
+    "datasets",
+    "Measurement",
+    "run_cell",
+    "build_matrix",
+    "slowdown_matrix",
+    "format_table",
+    "count_lines",
+    "dsl_line_counts",
+    "PAPER_TABLE5",
+]

@@ -1,0 +1,179 @@
+"""Synthetic stand-ins for the paper's datasets (Table 3).
+
+The paper evaluates on five social/web graphs (LiveJournal, Orkut, Twitter,
+Friendster, WebGraph) and three road networks (Massachusetts, Germany,
+RoadUSA).  Those range up to 3.6 billion edges; this reproduction generates
+structurally analogous graphs at laptop scale:
+
+- Social/web graphs → R-MAT with the Graph500 skew: heavy-tailed degrees,
+  small diameter, dense cores.  Relative sizes and densities mirror the
+  paper's table (Orkut densest, Friendster largest, etc.).
+- Road networks → jittered grids: near-planar, uniform low degree, large
+  diameter, Euclidean edge weights, and coordinates for A*.
+
+Weight conventions follow Table 4's caption: social/web graphs get uniform
+integer weights in [1, 1000); the wBFS runs use [1, log n); road networks
+keep their "original" (Euclidean) weights.
+
+Every dataset is generated deterministically from a fixed seed and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graph.csr import CSRGraph
+from ..graph.generators import assign_log_weights, assign_uniform_weights, rmat, road_grid
+
+__all__ = [
+    "Dataset",
+    "DATASETS",
+    "SOCIAL_GRAPHS",
+    "WEB_GRAPHS",
+    "ROAD_GRAPHS",
+    "load",
+    "best_delta",
+    "sources_for",
+    "pairs_for",
+]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Registry entry describing one stand-in graph."""
+
+    name: str
+    paper_name: str
+    kind: str  # "social", "web", or "road"
+    generator: str  # "rmat" or "road_grid"
+    params: tuple  # generator-specific parameters
+    seed: int
+
+
+SOCIAL_GRAPHS = ("OK", "LJ", "TW", "FT")
+WEB_GRAPHS = ("WB",)
+ROAD_GRAPHS = ("MA", "GE", "RD")
+
+# Relative scale mirrors Table 3: OK densest, LJ smallest social, TW/FT/WB
+# large, MA tiny road, GE medium, RD largest road.
+DATASETS: dict[str, Dataset] = {
+    "OK": Dataset("OK", "Orkut", "social", "rmat", (11, 36), seed=11),
+    "LJ": Dataset("LJ", "LiveJournal", "social", "rmat", (12, 12), seed=12),
+    "TW": Dataset("TW", "Twitter", "social", "rmat", (13, 24), seed=13),
+    "FT": Dataset("FT", "Friendster", "social", "rmat", (13, 30), seed=14),
+    "WB": Dataset("WB", "WebGraph", "web", "rmat", (13, 20), seed=15),
+    "MA": Dataset("MA", "Massachusetts", "road", "road_grid", (20, 22), seed=21),
+    "GE": Dataset("GE", "Germany", "road", "road_grid", (80, 100), seed=22),
+    "RD": Dataset("RD", "RoadUSA", "road", "road_grid", (110, 140), seed=23),
+}
+
+# Hand-tuned priority-coarsening factors (Section 6.2, "Delta Selection"):
+# small deltas for social networks, large deltas for road networks.  Road
+# deltas scale with the weight magnitude (edge weights ~ coordinate_scale).
+# Values found by sweeping Δ on the stand-ins (see
+# benchmarks/test_delta_selection.py); they sit in the same class-dependent
+# regimes as the paper's (small for social, large for road).
+BEST_DELTA: dict[str, int] = {
+    "OK": 32,
+    "LJ": 64,
+    "TW": 16,
+    "FT": 16,
+    "WB": 16,
+    "MA": 4096,
+    "GE": 1024,
+    "RD": 512,
+}
+
+
+def best_delta(name: str) -> int:
+    """The hand-tuned Δ for a dataset (what Table 4's schedules use)."""
+    _check(name)
+    return BEST_DELTA[name]
+
+
+def _check(name: str) -> None:
+    if name not in DATASETS:
+        raise GraphError(
+            f"unknown dataset {name!r}; expected one of {tuple(DATASETS)}"
+        )
+
+
+@lru_cache(maxsize=None)
+def load(name: str, weights: str = "default", symmetric: bool = False) -> CSRGraph:
+    """Load (generate) a dataset.
+
+    Parameters
+    ----------
+    weights:
+        ``"default"`` — [1, 1000) for social/web, original Euclidean for
+        roads; ``"log"`` — [1, log n) (the wBFS convention); ``"original"``
+        — road weights (only valid for road graphs).
+    symmetric:
+        Symmetrize the graph (the k-core / SetCover convention).
+    """
+    _check(name)
+    spec = DATASETS[name]
+    if spec.generator == "rmat":
+        scale, edge_factor = spec.params
+        graph = rmat(scale, edge_factor, seed=spec.seed, weights=None)
+        if weights in ("default", "uniform"):
+            graph = assign_uniform_weights(graph, 1, 1000, seed=spec.seed + 100)
+        elif weights == "log":
+            graph = assign_log_weights(graph, seed=spec.seed + 200)
+        elif weights == "original":
+            raise GraphError("social/web graphs have no original weights")
+        else:
+            raise GraphError(f"unknown weight convention {weights!r}")
+    else:
+        rows, cols = spec.params
+        graph = road_grid(rows, cols, seed=spec.seed)
+        if weights == "log":
+            graph = assign_log_weights(graph, seed=spec.seed + 200)
+        elif weights not in ("default", "original"):
+            raise GraphError(f"unknown weight convention {weights!r}")
+    if symmetric:
+        graph = graph.symmetrized()
+    return graph
+
+
+def sources_for(name: str, count: int = 3, seed: int = 7) -> list[int]:
+    """Deterministic start vertices: the highest-out-degree vertex plus
+    random picks among vertices with non-trivial out-degree (the paper
+    averages SSSP/wBFS over 10 sources)."""
+    graph = load(name)
+    degrees = graph.out_degrees()
+    rng = np.random.default_rng(seed)
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise GraphError(f"dataset {name} has no vertex with out-edges")
+    picks = [int(eligible[np.argmax(degrees[eligible])])]
+    while len(picks) < count:
+        candidate = int(rng.choice(eligible))
+        if candidate not in picks:
+            picks.append(candidate)
+    return picks[:count]
+
+
+def pairs_for(name: str, count: int = 3, seed: int = 9) -> list[tuple[int, int]]:
+    """Deterministic source/destination pairs with a spread of distances
+    (the paper's "balanced selection of different distances")."""
+    graph = load(name)
+    sources = sources_for(name, count, seed)
+    rng = np.random.default_rng(seed + 1)
+    n = graph.num_vertices
+    pairs = []
+    for index, source in enumerate(sources):
+        if DATASETS[name].kind == "road":
+            # Spread targets across the grid: near, middle, far corners.
+            offsets = [n - 1, n // 2, n // 3 + 1]
+            target = offsets[index % len(offsets)]
+        else:
+            target = int(rng.integers(0, n))
+        if target == source:
+            target = (target + 1) % n
+        pairs.append((source, target))
+    return pairs

@@ -1,0 +1,176 @@
+"""Measurement harness for the evaluation (Section 6).
+
+``run_cell`` executes one (framework, algorithm, dataset) cell under the
+paper's conventions — Table 4's weight distributions, symmetrized inputs
+for k-core/SetCover, averaging over several sources (SSSP/wBFS) or
+source-destination pairs (PPSP/A*) — and reports both wall-clock and
+simulated parallel time.  The table/figure builders assemble the cells the
+benchmark drivers print.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..algorithms.frameworks import ALGORITHMS, FRAMEWORKS, run_framework, supports
+from ..errors import GraphItError
+from ..runtime.stats import RuntimeStats
+from . import datasets
+
+__all__ = [
+    "Measurement",
+    "run_cell",
+    "build_matrix",
+    "slowdown_matrix",
+    "format_table",
+]
+
+
+@dataclass
+class Measurement:
+    """Aggregated result of one framework/algorithm/dataset cell."""
+
+    framework: str
+    algorithm: str
+    dataset: str
+    wall_time: float
+    simulated_time: float
+    runs: int
+    rounds: float
+    relaxations: float
+    extra: dict = field(default_factory=dict)
+
+
+def _workloads(algorithm: str, dataset: str, trials: int):
+    """The (graph, source, target) workloads for one cell."""
+    if algorithm in ("kcore", "setcover"):
+        graph = datasets.load(dataset, symmetric=True)
+        return [(graph, 0, None)]
+    weights = "log" if algorithm == "wbfs" else "default"
+    graph = datasets.load(dataset, weights=weights)
+    if algorithm in ("ppsp", "astar"):
+        return [
+            (graph, source, target)
+            for source, target in datasets.pairs_for(dataset, trials)
+        ]
+    return [(graph, source, None) for source in datasets.sources_for(dataset, trials)]
+
+
+def run_cell(
+    framework: str,
+    algorithm: str,
+    dataset: str,
+    trials: int = 2,
+    num_threads: int = 8,
+    delta: int | None = None,
+) -> Measurement | None:
+    """Run one cell; ``None`` when the framework lacks the algorithm or the
+    dataset lacks what the algorithm needs (A* off road graphs)."""
+    if not supports(framework, algorithm):
+        return None
+    if algorithm == "astar" and datasets.DATASETS[dataset].kind != "road":
+        return None  # A* needs coordinates (the paper runs it on roads only)
+    if algorithm == "wbfs" and datasets.DATASETS[dataset].kind == "road":
+        # Table 4 benchmarks wBFS "on only the social networks and web
+        # graphs ... following the convention in previous work".
+        return None
+    if delta is None:
+        delta = datasets.best_delta(dataset)
+    workloads = _workloads(algorithm, dataset, trials)
+
+    total_wall = 0.0
+    merged = RuntimeStats(num_threads=num_threads)
+    for graph, source, target in workloads:
+        started = time.perf_counter()
+        result = run_framework(
+            framework,
+            algorithm,
+            graph,
+            source=source,
+            target=target,
+            delta=delta,
+            num_threads=num_threads,
+        )
+        total_wall += time.perf_counter() - started
+        merged.merge(result.stats)
+    runs = len(workloads)
+    return Measurement(
+        framework=framework,
+        algorithm=algorithm,
+        dataset=dataset,
+        wall_time=total_wall / runs,
+        simulated_time=merged.simulated_time() / runs,
+        runs=runs,
+        rounds=merged.rounds / runs,
+        relaxations=merged.relaxations / runs,
+    )
+
+
+def build_matrix(
+    frameworks: tuple[str, ...],
+    algorithms: tuple[str, ...],
+    dataset_names: tuple[str, ...],
+    trials: int = 2,
+    num_threads: int = 8,
+) -> dict[tuple[str, str, str], Measurement | None]:
+    """All requested cells, keyed by (framework, algorithm, dataset)."""
+    for framework in frameworks:
+        if framework not in FRAMEWORKS:
+            raise GraphItError(f"unknown framework {framework!r}")
+    for algorithm in algorithms:
+        if algorithm not in ALGORITHMS:
+            raise GraphItError(f"unknown algorithm {algorithm!r}")
+    matrix: dict[tuple[str, str, str], Measurement | None] = {}
+    for algorithm in algorithms:
+        for dataset in dataset_names:
+            for framework in frameworks:
+                matrix[(framework, algorithm, dataset)] = run_cell(
+                    framework, algorithm, dataset, trials, num_threads
+                )
+    return matrix
+
+
+def slowdown_matrix(
+    matrix: dict[tuple[str, str, str], Measurement | None],
+    metric: str = "simulated_time",
+) -> dict[tuple[str, str, str], float | None]:
+    """Per-cell slowdown relative to the fastest framework for that
+    (algorithm, dataset) — the quantity Figure 4's heatmap shows."""
+    best: dict[tuple[str, str], float] = {}
+    for (framework, algorithm, dataset), cell in matrix.items():
+        if cell is None:
+            continue
+        value = getattr(cell, metric)
+        key = (algorithm, dataset)
+        if key not in best or value < best[key]:
+            best[key] = value
+    result: dict[tuple[str, str, str], float | None] = {}
+    for (framework, algorithm, dataset), cell in matrix.items():
+        if cell is None:
+            result[(framework, algorithm, dataset)] = None
+        else:
+            result[(framework, algorithm, dataset)] = getattr(cell, metric) / best[
+                (algorithm, dataset)
+            ]
+    return result
+
+
+def format_table(
+    headers: list[str], rows: list[list[str]], title: str | None = None
+) -> str:
+    """Plain-text aligned table (what the benchmark drivers print)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

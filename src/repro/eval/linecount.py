@@ -1,0 +1,43 @@
+"""Line counting for Table 5.
+
+The paper compares the algorithm line counts of GraphIt-with-extension
+against GAPBS, Galois, and Julienne.  We can measure our own DSL programs
+directly; the comparison frameworks' counts are the published numbers from
+Table 5 (we cannot re-count code we did not port).  The regenerated table
+therefore shows *measured* counts for this reproduction's DSL next to the
+paper's published counts for every system, including GraphIt's own — so the
+claim "GraphIt needs several times fewer lines" can be checked against both.
+"""
+
+from __future__ import annotations
+
+from ..lang.programs import ALL_PROGRAMS
+
+__all__ = ["count_lines", "dsl_line_counts", "PAPER_TABLE5"]
+
+# Table 5 of the paper (— marks algorithms a framework does not provide).
+PAPER_TABLE5: dict[str, dict[str, int | None]] = {
+    "sssp": {"graphit": 28, "gapbs": 77, "galois": 90, "julienne": 65},
+    "ppsp": {"graphit": 24, "gapbs": 80, "galois": 99, "julienne": 103},
+    "astar": {"graphit": 74, "gapbs": 105, "galois": 139, "julienne": 84},
+    "kcore": {"graphit": 24, "gapbs": None, "galois": None, "julienne": 35},
+    "setcover": {"graphit": 70, "gapbs": None, "galois": None, "julienne": 72},
+}
+
+
+def count_lines(source: str) -> int:
+    """Non-blank, non-comment source lines (the paper's convention)."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith(("%", "//")):
+            continue
+        count += 1
+    return count
+
+
+def dsl_line_counts() -> dict[str, int]:
+    """Measured line counts of this reproduction's DSL programs."""
+    return {name: count_lines(source) for name, source in ALL_PROGRAMS.items()}

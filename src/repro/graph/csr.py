@@ -1,0 +1,253 @@
+"""Compressed sparse row (CSR) graph representation.
+
+The CSR graph is the storage substrate every other component builds on.  It
+stores the out-adjacency in three numpy arrays (``indptr``, ``indices``,
+``weights``) and lazily materializes the in-adjacency (needed for pull-style
+traversals) on first use.  Vertices are dense integers ``0 .. n-1``; weights
+are 64-bit integers, matching the paper's use of integer edge weights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable directed graph in compressed sparse row form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``num_vertices + 1``; ``indptr[v]`` is the
+        offset of vertex ``v``'s first out-edge in ``indices``/``weights``.
+    indices:
+        ``int64`` array of destination vertex ids, one per directed edge.
+    weights:
+        Optional ``int64`` array of edge weights aligned with ``indices``.
+        When omitted the graph is unweighted and every edge has weight 1.
+    coordinates:
+        Optional ``float64`` array of shape ``(num_vertices, 2)`` giving a
+        planar embedding (used by A* search on road networks).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray | None = None,
+        coordinates: np.ndarray | None = None,
+    ):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.size == 0:
+            raise GraphError("indptr must be a non-empty 1-D array")
+        if indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1] ({int(indptr[-1])}) must equal the number of edges ({indices.size})"
+            )
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise GraphError("edge destination out of range")
+        if weights is None:
+            weights = np.ones(indices.size, dtype=np.int64)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+            if weights.shape != indices.shape:
+                raise GraphError("weights must align with indices")
+        if coordinates is not None:
+            coordinates = np.asarray(coordinates, dtype=np.float64)
+            if coordinates.shape != (num_vertices, 2):
+                raise GraphError(
+                    f"coordinates must have shape ({num_vertices}, 2), got {coordinates.shape}"
+                )
+
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self._coordinates = coordinates
+        self._in_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices (dense ids ``0 .. num_vertices - 1``)."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._indices.size
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Out-adjacency offsets (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Out-edge destinations (read-only view)."""
+        return self._indices
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Out-edge weights (read-only view)."""
+        return self._weights
+
+    @property
+    def coordinates(self) -> np.ndarray | None:
+        """Planar coordinates per vertex, or ``None`` when absent."""
+        return self._coordinates
+
+    @property
+    def has_coordinates(self) -> bool:
+        return self._coordinates is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(num_vertices={self.num_vertices}, num_edges={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Degree queries
+    # ------------------------------------------------------------------
+    def out_degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self._indptr[v + 1] - self._indptr[v])
+
+    def out_degrees(self) -> np.ndarray:
+        """Array of all out-degrees."""
+        return np.diff(self._indptr)
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of vertex ``v`` (materializes the in-CSR on first use)."""
+        self._check_vertex(v)
+        indptr, _, _ = self.in_csr()
+        return int(indptr[v + 1] - indptr[v])
+
+    def in_degrees(self) -> np.ndarray:
+        """Array of all in-degrees."""
+        indptr, _, _ = self.in_csr()
+        return np.diff(indptr)
+
+    # ------------------------------------------------------------------
+    # Neighbourhood access
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Destinations of ``v``'s out-edges (read-only slice)."""
+        self._check_vertex(v)
+        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+
+    def out_weights(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s out-edges, aligned with :meth:`out_neighbors`."""
+        self._check_vertex(v)
+        return self._weights[self._indptr[v] : self._indptr[v + 1]]
+
+    def out_edges(self, v: int) -> Iterator[tuple[int, int]]:
+        """Iterate ``(destination, weight)`` pairs for ``v``'s out-edges."""
+        start, end = self._indptr[v], self._indptr[v + 1]
+        for i in range(start, end):
+            yield int(self._indices[i]), int(self._weights[i])
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Sources of ``v``'s in-edges."""
+        self._check_vertex(v)
+        indptr, indices, _ = self.in_csr()
+        return indices[indptr[v] : indptr[v + 1]]
+
+    def in_weights(self, v: int) -> np.ndarray:
+        """Weights of ``v``'s in-edges, aligned with :meth:`in_neighbors`."""
+        self._check_vertex(v)
+        indptr, _, weights = self.in_csr()
+        return weights[indptr[v] : indptr[v + 1]]
+
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The in-adjacency as ``(indptr, indices, weights)``.
+
+        Built lazily by a stable counting sort over destinations, so the
+        in-neighbors of each vertex appear in order of their source id.
+        """
+        if self._in_csr is None:
+            n = self.num_vertices
+            counts = np.bincount(self._indices, minlength=n).astype(np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            order = np.argsort(self._indices, kind="stable")
+            sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+            self._in_csr = (indptr, sources[order], self._weights[order])
+        return self._in_csr
+
+    # ------------------------------------------------------------------
+    # Whole-graph transforms
+    # ------------------------------------------------------------------
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All edges as ``(sources, destinations, weights)`` arrays."""
+        sources = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64), np.diff(self._indptr)
+        )
+        return sources, self._indices.copy(), self._weights.copy()
+
+    def reversed(self) -> "CSRGraph":
+        """The transpose graph (every edge direction flipped)."""
+        indptr, indices, weights = self.in_csr()
+        return CSRGraph(
+            indptr.copy(), indices.copy(), weights.copy(), coordinates=self._coordinates
+        )
+
+    def symmetrized(self) -> "CSRGraph":
+        """The undirected version: for every edge (u, v) both directions exist.
+
+        Parallel edges arising from symmetrization are deduplicated, keeping
+        the minimum weight, matching the convention the paper uses when
+        symmetrizing inputs for k-core and SetCover.
+        """
+        from .builder import GraphBuilder
+
+        sources, dests, weights = self.edge_list()
+        builder = GraphBuilder(self.num_vertices)
+        builder.add_edges(sources, dests, weights)
+        builder.add_edges(dests, sources, weights)
+        return builder.build(
+            deduplicate="min", remove_self_loops=False, coordinates=self._coordinates
+        )
+
+    def is_symmetric(self) -> bool:
+        """True when every edge has a reverse edge of equal weight."""
+        sources, dests, weights = self.edge_list()
+        forward = set(zip(sources.tolist(), dests.tolist(), weights.tolist()))
+        return all((d, s, w) in forward for s, d, w in forward)
+
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """A copy of this graph with the given per-edge weights."""
+        return CSRGraph(
+            self._indptr.copy(),
+            self._indices.copy(),
+            np.asarray(weights, dtype=np.int64).copy(),
+            coordinates=self._coordinates,
+        )
+
+    def with_coordinates(self, coordinates: np.ndarray) -> "CSRGraph":
+        """A copy of this graph with the given vertex coordinates."""
+        return CSRGraph(
+            self._indptr.copy(),
+            self._indices.copy(),
+            self._weights.copy(),
+            coordinates=coordinates,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(f"vertex {v} out of range [0, {self.num_vertices})")

@@ -1,0 +1,157 @@
+"""Vertex sets (frontiers) in sparse and dense layouts.
+
+GraphIt's direction optimization switches frontier layout between a sparse
+array of vertex ids (efficient for small frontiers, used by SparsePush) and a
+dense boolean map (efficient for large frontiers, used by DensePull).  This
+module provides one class that can hold either layout and convert on demand,
+mirroring Ligra/GraphIt's ``vertexsubset``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["VertexSet"]
+
+
+class VertexSet:
+    """A subset of the vertices of a graph with ``num_vertices`` vertices.
+
+    The set keeps whichever of the two layouts it was created with and
+    materializes the other lazily; both stay consistent afterwards because
+    instances are immutable.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        vertices: Iterable[int] | np.ndarray | None = None,
+        bool_map: np.ndarray | None = None,
+    ):
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        if (vertices is None) == (bool_map is None):
+            raise GraphError("provide exactly one of vertices or bool_map")
+        self._num_vertices = int(num_vertices)
+        self._sparse: np.ndarray | None = None
+        self._dense: np.ndarray | None = None
+        if vertices is not None:
+            arr = np.unique(np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices, dtype=np.int64))
+            if arr.size and (arr[0] < 0 or arr[-1] >= num_vertices):
+                raise GraphError("vertex id out of range")
+            self._sparse = arr
+        else:
+            bool_map = np.asarray(bool_map, dtype=bool)
+            if bool_map.shape != (num_vertices,):
+                raise GraphError(
+                    f"bool_map must have shape ({num_vertices},), got {bool_map.shape}"
+                )
+            self._dense = bool_map.copy()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, num_vertices: int) -> "VertexSet":
+        return cls(num_vertices, vertices=np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def full(cls, num_vertices: int) -> "VertexSet":
+        return cls(num_vertices, vertices=np.arange(num_vertices, dtype=np.int64))
+
+    @classmethod
+    def single(cls, num_vertices: int, vertex: int) -> "VertexSet":
+        return cls(num_vertices, vertices=[vertex])
+
+    # ------------------------------------------------------------------
+    # Layout access
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Size of the universe this set draws from."""
+        return self._num_vertices
+
+    def to_sparse(self) -> np.ndarray:
+        """The members as a sorted int64 array (sparse layout)."""
+        if self._sparse is None:
+            self._sparse = np.flatnonzero(self._dense).astype(np.int64)
+        return self._sparse
+
+    def to_dense(self) -> np.ndarray:
+        """The members as a boolean map (dense layout)."""
+        if self._dense is None:
+            dense = np.zeros(self._num_vertices, dtype=bool)
+            dense[self._sparse] = True
+            self._dense = dense
+        return self._dense
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the sparse layout is already materialized."""
+        return self._sparse is not None
+
+    # ------------------------------------------------------------------
+    # Set behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if self._sparse is not None:
+            return int(self._sparse.size)
+        return int(np.count_nonzero(self._dense))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_sparse().tolist())
+
+    def __contains__(self, vertex: int) -> bool:
+        if not 0 <= vertex < self._num_vertices:
+            return False
+        if self._dense is not None:
+            return bool(self._dense[vertex])
+        return bool(np.isin(vertex, self._sparse))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VertexSet):
+            return NotImplemented
+        return self._num_vertices == other._num_vertices and np.array_equal(
+            self.to_sparse(), other.to_sparse()
+        )
+
+    def __hash__(self) -> int:  # sets are immutable value objects
+        return hash((self._num_vertices, self.to_sparse().tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        members = self.to_sparse()
+        preview = ", ".join(map(str, members[:8].tolist()))
+        suffix = ", ..." if members.size > 8 else ""
+        return f"VertexSet({{{preview}{suffix}}}, size={members.size})"
+
+    # ------------------------------------------------------------------
+    # Set algebra (each returns a new set)
+    # ------------------------------------------------------------------
+    def union(self, other: "VertexSet") -> "VertexSet":
+        self._check_compatible(other)
+        return VertexSet(
+            self._num_vertices,
+            vertices=np.union1d(self.to_sparse(), other.to_sparse()),
+        )
+
+    def intersection(self, other: "VertexSet") -> "VertexSet":
+        self._check_compatible(other)
+        return VertexSet(
+            self._num_vertices,
+            vertices=np.intersect1d(self.to_sparse(), other.to_sparse()),
+        )
+
+    def difference(self, other: "VertexSet") -> "VertexSet":
+        self._check_compatible(other)
+        return VertexSet(
+            self._num_vertices,
+            vertices=np.setdiff1d(self.to_sparse(), other.to_sparse()),
+        )
+
+    def _check_compatible(self, other: "VertexSet") -> None:
+        if self._num_vertices != other._num_vertices:
+            raise GraphError("vertex sets draw from different universes")

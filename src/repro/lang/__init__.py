@@ -1,0 +1,47 @@
+"""DSL frontend: lexer, parser, AST, type checker, benchmark programs."""
+
+from . import ast_nodes
+from .lexer import tokenize
+from .parser import parse
+from .programs import ALL_PROGRAMS, program_source
+from .symbols import Scope, SymbolTable
+from .typecheck import typecheck
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    VOID,
+    EdgeSetType,
+    ElementType,
+    FunctionType,
+    PriorityQueueType,
+    ScalarType,
+    Type,
+    VectorType,
+    VertexSetType,
+)
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "typecheck",
+    "ast_nodes",
+    "Scope",
+    "SymbolTable",
+    "ALL_PROGRAMS",
+    "program_source",
+    "Type",
+    "ScalarType",
+    "ElementType",
+    "VertexSetType",
+    "EdgeSetType",
+    "VectorType",
+    "PriorityQueueType",
+    "FunctionType",
+    "INT",
+    "FLOAT",
+    "BOOL",
+    "STRING",
+    "VOID",
+]

@@ -1,0 +1,151 @@
+"""Hand-written lexer for the GraphIt algorithm-language subset.
+
+Comments run from ``%`` or ``//`` to end of line (GraphIt uses ``%``; we
+accept both).  Labels appear as ``#name#`` and are lexed as HASH IDENT HASH.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR = {
+    "->": TokenKind.ARROW,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NEQ,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMICOLON,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "#": TokenKind.HASH,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert DSL source text to a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line, column)
+
+    while index < length:
+        char = source[index]
+
+        if char == "\n":
+            index += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+
+        # Comments: '//' or '%' to end of line.  '%' only opens a comment
+        # when it cannot be the modulo operator (i.e. not directly following
+        # a value); GraphIt sources in the paper use '%' only at line starts,
+        # so we treat '%' after whitespace-only prefix as a comment.
+        if char == "/" and index + 1 < length and source[index + 1] == "/":
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char == "%" and (not tokens or tokens[-1].line != line):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+
+        if char.isdigit():
+            start = index
+            start_column = column
+            while index < length and source[index].isdigit():
+                index += 1
+                column += 1
+            is_float = False
+            if (
+                index < length
+                and source[index] == "."
+                and index + 1 < length
+                and source[index + 1].isdigit()
+            ):
+                is_float = True
+                index += 1
+                column += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+                    column += 1
+            text = source[start:index]
+            kind = TokenKind.FLOAT if is_float else TokenKind.INT
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+
+        if char == '"':
+            start_column = column
+            index += 1
+            column += 1
+            start = index
+            while index < length and source[index] != '"':
+                if source[index] == "\n":
+                    raise error("unterminated string literal")
+                index += 1
+                column += 1
+            if index >= length:
+                raise error("unterminated string literal")
+            text = source[start:index]
+            index += 1
+            column += 1
+            tokens.append(Token(TokenKind.STRING, text, line, start_column))
+            continue
+
+        two = source[index : index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, line, column))
+            index += 2
+            column += 2
+            continue
+
+        if char in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,53 @@
+"""Symbol tables for the type checker and the backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TypeCheckError
+from .types import FunctionType, Type
+
+__all__ = ["Scope", "SymbolTable"]
+
+
+class Scope:
+    """A single lexical scope mapping names to types."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self._symbols: dict[str, Type] = {}
+
+    def declare(self, name: str, symbol_type: Type, line: int = 0) -> None:
+        if name in self._symbols:
+            raise TypeCheckError(
+                f"line {line}: redeclaration of {name!r} in the same scope"
+            )
+        self._symbols[name] = symbol_type
+
+    def lookup(self, name: str) -> Type | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope._symbols:
+                return scope._symbols[name]
+            scope = scope.parent
+        return None
+
+    def lookup_local(self, name: str) -> Type | None:
+        return self._symbols.get(name)
+
+
+@dataclass
+class SymbolTable:
+    """Program-wide symbol information produced by the type checker.
+
+    ``globals`` holds constants (and element types); ``functions`` holds the
+    signature of each function; ``function_locals`` maps a function name to
+    the types of its parameters and local variables (used by the backends to
+    emit declarations).
+    """
+
+    globals: Scope = field(default_factory=Scope)
+    functions: dict[str, FunctionType] = field(default_factory=dict)
+    function_locals: dict[str, dict[str, Type]] = field(default_factory=dict)
+    elements: set[str] = field(default_factory=set)
+    externs: set[str] = field(default_factory=set)

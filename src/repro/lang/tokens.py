@@ -1,0 +1,107 @@
+"""Token definitions for the GraphIt algorithm-language subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    # Literals and identifiers
+    INT = "int_literal"
+    FLOAT = "float_literal"
+    STRING = "string_literal"
+    IDENT = "identifier"
+
+    # Keywords
+    ELEMENT = "element"
+    CONST = "const"
+    VAR = "var"
+    FUNC = "func"
+    EXTERN = "extern"
+    END = "end"
+    WHILE = "while"
+    IF = "if"
+    ELIF = "elif"
+    ELSE = "else"
+    FOR = "for"
+    IN = "in"
+    RETURN = "return"
+    DELETE = "delete"
+    NEW = "new"
+    TRUE = "true"
+    FALSE = "false"
+    AND = "and"
+    OR = "or"
+    NOT = "not"
+    PRINT = "print"
+    SCHEDULE = "schedule"
+
+    # Punctuation and operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMICOLON = ";"
+    COLON = ":"
+    COMMA = ","
+    DOT = "."
+    HASH = "#"
+    ARROW = "->"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    EQ = "=="
+    NEQ = "!="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "element": TokenKind.ELEMENT,
+    "const": TokenKind.CONST,
+    "var": TokenKind.VAR,
+    "func": TokenKind.FUNC,
+    "extern": TokenKind.EXTERN,
+    "end": TokenKind.END,
+    "while": TokenKind.WHILE,
+    "if": TokenKind.IF,
+    "elif": TokenKind.ELIF,
+    "else": TokenKind.ELSE,
+    "for": TokenKind.FOR,
+    "in": TokenKind.IN,
+    "return": TokenKind.RETURN,
+    "delete": TokenKind.DELETE,
+    "new": TokenKind.NEW,
+    "true": TokenKind.TRUE,
+    "false": TokenKind.FALSE,
+    "and": TokenKind.AND,
+    "or": TokenKind.OR,
+    "not": TokenKind.NOT,
+    "print": TokenKind.PRINT,
+    "schedule": TokenKind.SCHEDULE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its 1-based source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,465 @@
+"""Type checker for the GraphIt algorithm-language subset.
+
+Checks the paper's programs end to end: element references resolve, vectors
+are indexed by vertices, priority-queue operators receive the right argument
+shapes (both the 2- and 3-argument ``updatePriorityMin`` forms seen in
+Table 1 and Figure 3), edgeset traversal chains are well-formed, and
+user-defined functions match the shape ``applyUpdatePriority`` expects.
+
+The checker produces a :class:`~repro.lang.symbols.SymbolTable` the midend
+and backends consume.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from . import ast_nodes as ast
+from .symbols import Scope, SymbolTable
+from .types import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    VOID,
+    EdgeSetType,
+    ElementType,
+    FunctionType,
+    PriorityQueueType,
+    ScalarType,
+    Type,
+    VectorType,
+    VertexSetType,
+)
+
+__all__ = ["typecheck", "TypeChecker"]
+
+# Methods on priority queues: name -> (min arity, max arity, result type).
+_PQ_METHODS: dict[str, tuple[int, int, Type]] = {
+    "finished": (0, 0, BOOL),
+    "finishedVertex": (1, 1, BOOL),
+    "dequeueReadySet": (0, 0, None),  # vertexset of the queue's element
+    "getCurrentPriority": (0, 0, None),  # the queue's value type
+    "get_current_priority": (0, 0, None),
+    "updatePriorityMin": (2, 3, VOID),
+    "updatePriorityMax": (2, 3, VOID),
+    "updatePrioritySum": (2, 3, VOID),
+}
+
+_NUMERIC = (INT, FLOAT)
+
+
+def typecheck(program: ast.Program) -> SymbolTable:
+    """Check ``program`` and return its symbol table; raises TypeCheckError."""
+    checker = TypeChecker()
+    return checker.check(program)
+
+
+class TypeChecker:
+    def __init__(self) -> None:
+        self.table = SymbolTable()
+        self._current_function: str | None = None
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def check(self, program: ast.Program) -> SymbolTable:
+        for element in program.elements:
+            if element.name in self.table.elements:
+                raise TypeCheckError(
+                    f"line {element.line}: element {element.name!r} redeclared"
+                )
+            self.table.elements.add(element.name)
+
+        for extern in program.externs:
+            self.table.externs.add(extern.name)
+
+        for const in program.constants:
+            self._check_type_wellformed(const.declared_type, const.line)
+            self.table.globals.declare(const.name, const.declared_type, const.line)
+
+        # Declare function signatures before checking bodies, so functions
+        # may call each other.
+        for func in program.functions:
+            parameters = tuple(param_type for _, param_type in func.parameters)
+            result = func.result[1] if func.result else VOID
+            if func.name in self.table.functions:
+                raise TypeCheckError(
+                    f"line {func.line}: function {func.name!r} redeclared"
+                )
+            self.table.functions[func.name] = FunctionType(parameters, result)
+
+        for func in program.functions:
+            self._check_function(func)
+
+        for const in program.constants:
+            if const.initializer is not None:
+                scope = Scope(self.table.globals)
+                self._declare_builtins(scope)
+                initializer_type = self._expr(const.initializer, scope)
+                self._check_assignable(
+                    const.declared_type, initializer_type, const.line
+                )
+        return self.table
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def _check_type_wellformed(self, declared: Type, line: int) -> None:
+        for element in self._referenced_elements(declared):
+            if element.name not in self.table.elements:
+                raise TypeCheckError(
+                    f"line {line}: unknown element type {element.name!r}"
+                )
+
+    def _referenced_elements(self, declared: Type):
+        if isinstance(declared, ElementType):
+            yield declared
+        elif isinstance(declared, VertexSetType):
+            yield declared.element
+        elif isinstance(declared, EdgeSetType):
+            yield declared.element
+            yield declared.source
+            yield declared.destination
+        elif isinstance(declared, (VectorType, PriorityQueueType)):
+            yield declared.element
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        scope = Scope(self.table.globals)
+        self._declare_builtins(scope)
+        locals_map: dict[str, Type] = {}
+        for name, param_type in func.parameters:
+            self._check_type_wellformed(param_type, func.line)
+            scope.declare(name, param_type, func.line)
+            locals_map[name] = param_type
+        if func.result is not None:
+            result_name, result_type = func.result
+            scope.declare(result_name, result_type, func.line)
+            locals_map[result_name] = result_type
+        self._current_function = func.name
+        self._block(func.body, scope, locals_map)
+        self._current_function = None
+        self.table.function_locals[func.name] = locals_map
+
+    def _declare_builtins(self, scope: Scope) -> None:
+        # argv: the command-line string array; INT_MAX: the usual sentinel.
+        scope.declare("argv", VectorType(ElementType("__arg"), STRING))
+        scope.declare("INT_MAX", INT)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(
+        self, body: list[ast.Stmt], scope: Scope, locals_map: dict[str, Type]
+    ) -> None:
+        for statement in body:
+            self._statement(statement, scope, locals_map)
+
+    def _statement(
+        self, statement: ast.Stmt, scope: Scope, locals_map: dict[str, Type]
+    ) -> None:
+        if isinstance(statement, ast.VarDecl):
+            self._check_type_wellformed(statement.declared_type, statement.line)
+            if statement.initializer is not None:
+                value_type = self._expr(statement.initializer, scope)
+                self._check_assignable(
+                    statement.declared_type, value_type, statement.line
+                )
+            scope.declare(statement.name, statement.declared_type, statement.line)
+            locals_map[statement.name] = statement.declared_type
+        elif isinstance(statement, ast.Assign):
+            target_type = self._expr(statement.target, scope)
+            value_type = self._expr(statement.value, scope)
+            self._check_assignable(target_type, value_type, statement.line)
+        elif isinstance(statement, ast.ExprStmt):
+            self._expr(statement.expression, scope)
+        elif isinstance(statement, ast.While):
+            condition = self._expr(statement.condition, scope)
+            self._check_assignable(BOOL, condition, statement.line)
+            self._block(statement.body, Scope(scope), locals_map)
+        elif isinstance(statement, ast.If):
+            condition = self._expr(statement.condition, scope)
+            self._check_assignable(BOOL, condition, statement.line)
+            self._block(statement.then_body, Scope(scope), locals_map)
+            self._block(statement.else_body, Scope(scope), locals_map)
+        elif isinstance(statement, ast.For):
+            self._check_assignable(INT, self._expr(statement.start, scope), statement.line)
+            self._check_assignable(INT, self._expr(statement.stop, scope), statement.line)
+            inner = Scope(scope)
+            inner.declare(statement.variable, INT, statement.line)
+            locals_map.setdefault(statement.variable, INT)
+            self._block(statement.body, inner, locals_map)
+        elif isinstance(statement, ast.Print):
+            self._expr(statement.expression, scope)
+        elif isinstance(statement, ast.Delete):
+            if scope.lookup(statement.name) is None:
+                raise TypeCheckError(
+                    f"line {statement.line}: delete of undeclared name "
+                    f"{statement.name!r}"
+                )
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                self._expr(statement.value, scope)
+        else:  # pragma: no cover - parser produces no other statements
+            raise TypeCheckError(f"unhandled statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expr(self, expression: ast.Expr, scope: Scope) -> Type:
+        if isinstance(expression, ast.IntLiteral):
+            return INT
+        if isinstance(expression, ast.FloatLiteral):
+            return FLOAT
+        if isinstance(expression, ast.BoolLiteral):
+            return BOOL
+        if isinstance(expression, ast.StringLiteral):
+            return STRING
+        if isinstance(expression, ast.Name):
+            named = scope.lookup(expression.identifier)
+            if named is None:
+                raise TypeCheckError(
+                    f"line {expression.line}: undeclared name "
+                    f"{expression.identifier!r}"
+                )
+            return named
+        if isinstance(expression, ast.BinaryOp):
+            return self._binary(expression, scope)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._expr(expression.operand, scope)
+            if expression.operator == "not":
+                self._check_assignable(BOOL, operand, expression.line)
+                return BOOL
+            if operand not in _NUMERIC:
+                raise TypeCheckError(
+                    f"line {expression.line}: unary '-' needs a numeric operand"
+                )
+            return operand
+        if isinstance(expression, ast.Index):
+            return self._index(expression, scope)
+        if isinstance(expression, ast.Call):
+            return self._call(expression, scope)
+        if isinstance(expression, ast.MethodCall):
+            return self._method_call(expression, scope)
+        if isinstance(expression, ast.New):
+            self._check_type_wellformed(expression.type, expression.line)
+            for argument in expression.arguments:
+                self._expr(argument, scope)
+            return expression.type
+        raise TypeCheckError(  # pragma: no cover
+            f"unhandled expression {type(expression).__name__}"
+        )
+
+    def _binary(self, expression: ast.BinaryOp, scope: Scope) -> Type:
+        left = self._expr(expression.left, scope)
+        right = self._expr(expression.right, scope)
+        operator = expression.operator
+        if operator in ("and", "or"):
+            self._check_assignable(BOOL, left, expression.line)
+            self._check_assignable(BOOL, right, expression.line)
+            return BOOL
+        if operator in ("==", "!="):
+            if left != right:
+                raise TypeCheckError(
+                    f"line {expression.line}: cannot compare {left} with {right}"
+                )
+            return BOOL
+        if operator in ("<", ">", "<=", ">="):
+            if left not in _NUMERIC or right not in _NUMERIC:
+                raise TypeCheckError(
+                    f"line {expression.line}: ordering comparison needs numeric "
+                    f"operands, got {left} and {right}"
+                )
+            return BOOL
+        # Arithmetic.
+        if left not in _NUMERIC or right not in _NUMERIC:
+            raise TypeCheckError(
+                f"line {expression.line}: arithmetic needs numeric operands, "
+                f"got {left} and {right}"
+            )
+        return FLOAT if FLOAT in (left, right) else INT
+
+    def _index(self, expression: ast.Index, scope: Scope) -> Type:
+        base = self._expr(expression.base, scope)
+        index_type = self._expr(expression.index, scope)
+        if isinstance(base, VectorType):
+            # Vectors are indexed by a vertex (element) or an int id.
+            if not (isinstance(index_type, ElementType) or index_type == INT):
+                raise TypeCheckError(
+                    f"line {expression.line}: vector index must be a vertex "
+                    f"or int, got {index_type}"
+                )
+            return base.value
+        raise TypeCheckError(
+            f"line {expression.line}: type {base} is not indexable"
+        )
+
+    def _call(self, expression: ast.Call, scope: Scope) -> Type:
+        name = expression.function
+        argument_types = [self._expr(a, scope) for a in expression.arguments]
+        if name == "load":
+            if len(argument_types) != 1 or argument_types[0] != STRING:
+                raise TypeCheckError(
+                    f"line {expression.line}: load() takes one string path"
+                )
+            # The edgeset type comes from the declaration it initializes.
+            return _AnyEdgeSet()
+        if name in ("min", "max"):
+            if len(argument_types) != 2 or any(
+                t not in _NUMERIC for t in argument_types
+            ):
+                raise TypeCheckError(
+                    f"line {expression.line}: {name}() takes two numeric "
+                    f"arguments"
+                )
+            return FLOAT if FLOAT in argument_types else INT
+        if name == "atoi":
+            if len(argument_types) != 1 or argument_types[0] != STRING:
+                raise TypeCheckError(
+                    f"line {expression.line}: atoi() takes one string"
+                )
+            return INT
+        if name in self.table.externs:
+            return _AnyType()
+        if name in self.table.functions:
+            signature = self.table.functions[name]
+            if len(argument_types) != len(signature.parameters):
+                raise TypeCheckError(
+                    f"line {expression.line}: {name}() takes "
+                    f"{len(signature.parameters)} arguments, got "
+                    f"{len(argument_types)}"
+                )
+            for expected, actual in zip(signature.parameters, argument_types):
+                self._check_assignable(expected, actual, expression.line)
+            return signature.result
+        raise TypeCheckError(
+            f"line {expression.line}: call to unknown function {name!r}"
+        )
+
+    def _method_call(self, expression: ast.MethodCall, scope: Scope) -> Type:
+        receiver = self._expr(expression.receiver, scope)
+        method = expression.method
+
+        # Function-reference arguments (applyUpdatePriority) are resolved
+        # against the function table, not the value scope — handle them
+        # before evaluating arguments as expressions.
+        if isinstance(receiver, EdgeSetType) and method in (
+            "applyUpdatePriority",
+            "apply",
+        ):
+            if len(expression.arguments) != 1 or not isinstance(
+                expression.arguments[0], ast.Name
+            ):
+                raise TypeCheckError(
+                    f"line {expression.line}: {method} takes a function name"
+                )
+            function_name = expression.arguments[0].identifier
+            if (
+                function_name not in self.table.functions
+                and function_name not in self.table.externs
+            ):
+                raise TypeCheckError(
+                    f"line {expression.line}: {method} references unknown "
+                    f"function {function_name!r}"
+                )
+            if function_name in self.table.functions:
+                signature = self.table.functions[function_name]
+                if len(signature.parameters) not in (2, 3):
+                    raise TypeCheckError(
+                        f"line {expression.line}: the {method} UDF must "
+                        f"take (src, dst) or (src, dst, weight)"
+                    )
+            return VOID
+
+        argument_types = [self._expr(a, scope) for a in expression.arguments]
+
+        if isinstance(receiver, PriorityQueueType):
+            if method not in _PQ_METHODS:
+                raise TypeCheckError(
+                    f"line {expression.line}: priority queues have no method "
+                    f"{method!r}"
+                )
+            low, high, result = _PQ_METHODS[method]
+            if not low <= len(argument_types) <= high:
+                raise TypeCheckError(
+                    f"line {expression.line}: {method} takes between {low} and "
+                    f"{high} arguments, got {len(argument_types)}"
+                )
+            if method == "dequeueReadySet":
+                return VertexSetType(receiver.element)
+            if method in ("getCurrentPriority", "get_current_priority"):
+                return receiver.value
+            if method.startswith("updatePriority"):
+                first = argument_types[0]
+                if not (isinstance(first, ElementType) or first == INT):
+                    raise TypeCheckError(
+                        f"line {expression.line}: {method}'s first argument "
+                        f"must be a vertex"
+                    )
+                for other in argument_types[1:]:
+                    if other not in _NUMERIC:
+                        raise TypeCheckError(
+                            f"line {expression.line}: {method}'s value "
+                            f"arguments must be numeric"
+                        )
+            return result if result is not None else VOID
+
+        if isinstance(receiver, EdgeSetType):
+            if method == "getOutDegrees":
+                if argument_types:
+                    raise TypeCheckError(
+                        f"line {expression.line}: getOutDegrees takes no arguments"
+                    )
+                return VectorType(receiver.source, INT)
+            if method == "from":
+                if len(argument_types) != 1 or not isinstance(
+                    argument_types[0], VertexSetType
+                ):
+                    raise TypeCheckError(
+                        f"line {expression.line}: from() takes a vertexset"
+                    )
+                return receiver
+            raise TypeCheckError(
+                f"line {expression.line}: edgesets have no method {method!r}"
+            )
+
+        if isinstance(receiver, VertexSetType):
+            if method == "getVertexSetSize" or method == "size":
+                return INT
+            raise TypeCheckError(
+                f"line {expression.line}: vertexsets have no method {method!r}"
+            )
+
+        raise TypeCheckError(
+            f"line {expression.line}: type {receiver} has no methods"
+        )
+
+    # ------------------------------------------------------------------
+    # Assignability
+    # ------------------------------------------------------------------
+    def _check_assignable(self, target: Type, value: Type, line: int) -> None:
+        if isinstance(value, _AnyType) or isinstance(target, _AnyType):
+            return
+        if isinstance(value, _AnyEdgeSet) and isinstance(target, EdgeSetType):
+            return
+        if target == value:
+            return
+        if target == FLOAT and value == INT:
+            return
+        # A vector of T accepts a scalar T fill (e.g. `dist = INT_MAX`
+        # broadcasting in declarations) — GraphIt's vector initialization.
+        if isinstance(target, VectorType) and value == target.value:
+            return
+        if isinstance(target, ElementType) and value == INT:
+            return  # vertex ids are integers at the boundary
+        if isinstance(target, VertexSetType) and isinstance(value, VertexSetType):
+            if target.element == value.element:
+                return
+        raise TypeCheckError(f"line {line}: cannot assign {value} to {target}")
+
+
+class _AnyType(Type):
+    """Result type of extern calls (unchecked boundary)."""
+
+
+class _AnyEdgeSet(Type):
+    """Result type of load(); assignable to any declared edgeset type."""

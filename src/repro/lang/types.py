@@ -1,0 +1,113 @@
+"""Type system for the GraphIt algorithm-language subset.
+
+Types are immutable value objects compared structurally.  The interesting
+types are the graph-domain ones: element types (declared with ``element``),
+vertex/edge sets over an element, per-vertex vectors, and priority queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Type",
+    "ScalarType",
+    "INT",
+    "FLOAT",
+    "BOOL",
+    "STRING",
+    "VOID",
+    "ElementType",
+    "VertexSetType",
+    "EdgeSetType",
+    "VectorType",
+    "PriorityQueueType",
+    "FunctionType",
+]
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for all DSL types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        return self.__class__.__name__
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = ScalarType("int")
+FLOAT = ScalarType("float")
+BOOL = ScalarType("bool")
+STRING = ScalarType("string")
+VOID = ScalarType("void")
+
+
+@dataclass(frozen=True)
+class ElementType(Type):
+    """A user-declared element type (``element Vertex end``)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VertexSetType(Type):
+    element: ElementType
+
+    def __str__(self) -> str:
+        return f"vertexset{{{self.element.name}}}"
+
+
+@dataclass(frozen=True)
+class EdgeSetType(Type):
+    element: ElementType
+    source: ElementType
+    destination: ElementType
+    weight: ScalarType | None = None
+
+    @property
+    def is_weighted(self) -> bool:
+        return self.weight is not None
+
+    def __str__(self) -> str:
+        inner = f"{self.source.name}, {self.destination.name}"
+        if self.weight is not None:
+            inner += f", {self.weight.name}"
+        return f"edgeset{{{self.element.name}}}({inner})"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    element: ElementType
+    value: Type
+
+    def __str__(self) -> str:
+        return f"vector{{{self.element.name}}}({self.value})"
+
+
+@dataclass(frozen=True)
+class PriorityQueueType(Type):
+    element: ElementType
+    value: Type
+
+    def __str__(self) -> str:
+        return f"priority_queue{{{self.element.name}}}({self.value})"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    parameters: tuple[Type, ...] = field(default_factory=tuple)
+    result: Type = VOID
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        return f"func({params}) -> {self.result}"

@@ -1,0 +1,15 @@
+"""Midend: scheduling language, program analyses, and transformations."""
+
+from .schedule import (
+    PRIORITY_UPDATE_STRATEGIES,
+    TRAVERSAL_DIRECTIONS,
+    Schedule,
+    SchedulingProgram,
+)
+
+__all__ = [
+    "Schedule",
+    "SchedulingProgram",
+    "PRIORITY_UPDATE_STRATEGIES",
+    "TRAVERSAL_DIRECTIONS",
+]

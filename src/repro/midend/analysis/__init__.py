@@ -1,0 +1,21 @@
+"""Program analyses: UDF priority updates, dependences, loop patterns."""
+
+from .dependence import DependenceInfo, analyze_dependences
+from .loop_patterns import OrderedLoopInfo, recognize_ordered_loop
+from .udf_analysis import (
+    ConstantSumInfo,
+    PriorityUpdate,
+    analyze_constant_sum,
+    find_priority_updates,
+)
+
+__all__ = [
+    "DependenceInfo",
+    "analyze_dependences",
+    "OrderedLoopInfo",
+    "recognize_ordered_loop",
+    "ConstantSumInfo",
+    "PriorityUpdate",
+    "analyze_constant_sum",
+    "find_priority_updates",
+]

@@ -1,0 +1,100 @@
+"""Write-write conflict analysis for atomics insertion (Section 5.1).
+
+In push-direction traversal, the parallel loop runs over *source* vertices,
+so any write indexed by the destination parameter can race between threads
+and must become an atomic (the ``atomicWriteMin`` of Figure 9(a)/(c)).  In
+pull-direction traversal the parallel loop runs over destinations, each
+owned by one thread, so destination-indexed writes need no atomics
+(Figure 9(b)) — but source-indexed writes would (none of the paper's UDFs
+have any).
+
+Deduplication flags (the CAS on ``dedup_flags`` in Figure 9(a)) are required
+when a vertex may receive several updates in one round *and* processing it
+twice is incorrect — i.e. for ``updatePrioritySum`` UDFs such as k-core
+(Section 5.1: "Deduplication is required for correctness for applications
+such as k-core").  Min/max updates are idempotent, so deduplication there is
+an optimization rather than a correctness requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...lang import ast_nodes as ast
+from .udf_analysis import PriorityUpdate, find_priority_updates
+
+__all__ = ["DependenceInfo", "analyze_dependences"]
+
+
+@dataclass
+class DependenceInfo:
+    """Results of the conflict analysis for one UDF under one direction."""
+
+    direction: str
+    destination_writes: list[str]  # vector names written at the dst index
+    source_writes: list[str]  # vector names written at the src index
+    needs_atomics: bool
+    needs_deduplication: bool
+
+
+def _written_vectors(func: ast.FuncDecl, parameter: str) -> list[str]:
+    """Vector names assigned at index ``parameter`` anywhere in the UDF."""
+    names: list[str] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        target = node.target
+        if (
+            isinstance(target, ast.Index)
+            and isinstance(target.base, ast.Name)
+            and isinstance(target.index, ast.Name)
+            and target.index.identifier == parameter
+        ):
+            names.append(target.base.identifier)
+    return names
+
+
+def analyze_dependences(
+    func: ast.FuncDecl,
+    queue_names: set[str],
+    direction: str = "SparsePush",
+) -> DependenceInfo:
+    """Decide whether the generated code needs atomics and deduplication.
+
+    ``func`` must be an edge UDF with parameters ``(src, dst[, weight])``.
+    Priority updates targeting the destination count as destination writes
+    (the update operator writes the priority vector internally).
+    """
+    parameters = [name for name, _ in func.parameters]
+    src_param = parameters[0] if parameters else "src"
+    dst_param = parameters[1] if len(parameters) > 1 else "dst"
+
+    destination_writes = _written_vectors(func, dst_param)
+    source_writes = _written_vectors(func, src_param)
+
+    updates: list[PriorityUpdate] = find_priority_updates(func, queue_names)
+    for update in updates:
+        if (
+            isinstance(update.vertex_arg, ast.Name)
+            and update.vertex_arg.identifier == dst_param
+        ):
+            destination_writes.append(f"priority({update.queue_name})")
+        elif (
+            isinstance(update.vertex_arg, ast.Name)
+            and update.vertex_arg.identifier == src_param
+        ):
+            source_writes.append(f"priority({update.queue_name})")
+
+    if direction == "DensePull":
+        needs_atomics = bool(source_writes)
+    else:
+        needs_atomics = bool(destination_writes)
+
+    needs_deduplication = any(update.op == "sum" for update in updates)
+    return DependenceInfo(
+        direction=direction,
+        destination_writes=destination_writes,
+        source_writes=source_writes,
+        needs_atomics=needs_atomics,
+        needs_deduplication=needs_deduplication,
+    )

@@ -1,0 +1,312 @@
+"""Recognition of the ordered-processing while loop (Section 5.2).
+
+The compiler looks for the pattern
+
+    while (pq.finished() == false) [and (done == false)]
+        var bucket : vertexset{V} = pq.dequeueReadySet();
+        [ if <stop-condition>  done = true;  else ]
+        #label# edges.from(bucket).applyUpdatePriority(udf);
+        [ end ]
+        delete bucket;
+    end
+
+and verifies the dequeued bucket is used *only* by the apply statement
+("the analysis checks that there is no other use of the generated vertexset
+(bucket) except for the applyUpdatePriority operator, ensuring correctness").
+When the pattern matches, the eager schedules may replace the whole loop
+with the ordered processing operator; the optional early-exit form carries
+its stop condition along (PPSP / A*).
+
+A variant with an extern bucket processor (``processBucket(bucket)``) is
+recognized for bookkeeping but marked ineligible for the eager transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...lang import ast_nodes as ast
+
+__all__ = ["OrderedLoopInfo", "recognize_ordered_loop"]
+
+
+@dataclass
+class OrderedLoopInfo:
+    """Description of one recognized ordered-processing loop."""
+
+    while_stmt: ast.While
+    bucket_name: str
+    queue_name: str
+    label: str | None
+    udf_name: str | None  # None for the extern-processor variant
+    edgeset_name: str | None
+    stop_condition: ast.Expr | None
+    done_variable: str | None
+    extern_processor: str | None
+
+    @property
+    def eager_eligible(self) -> bool:
+        """Whether the eager transform may replace this loop."""
+        return self.udf_name is not None
+
+
+def recognize_ordered_loop(
+    main: ast.FuncDecl, queue_names: set[str]
+) -> OrderedLoopInfo | None:
+    """Find the first ordered-processing loop in ``main`` (or ``None``)."""
+    for statement in _all_statements(main.body):
+        if isinstance(statement, ast.While):
+            info = _match_loop(statement, main, queue_names)
+            if info is not None:
+                return info
+    return None
+
+
+def _all_statements(body: list[ast.Stmt]):
+    for statement in body:
+        yield statement
+        if isinstance(statement, ast.While):
+            yield from _all_statements(statement.body)
+        elif isinstance(statement, ast.If):
+            yield from _all_statements(statement.then_body)
+            yield from _all_statements(statement.else_body)
+        elif isinstance(statement, ast.For):
+            yield from _all_statements(statement.body)
+
+
+def _match_loop(
+    loop: ast.While, main: ast.FuncDecl, queue_names: set[str]
+) -> OrderedLoopInfo | None:
+    condition = _match_condition(loop.condition, queue_names)
+    if condition is None:
+        return None
+    queue_name, done_variable = condition
+
+    body = list(loop.body)
+    if not body or not isinstance(body[0], ast.VarDecl):
+        return None
+    bucket_decl = body[0]
+    if not _is_dequeue_call(bucket_decl.initializer, queue_name):
+        return None
+    bucket_name = bucket_decl.name
+
+    # Optional trailing `delete bucket;`
+    if body and isinstance(body[-1], ast.Delete) and body[-1].name == bucket_name:
+        middle = body[1:-1]
+    else:
+        middle = body[1:]
+    if len(middle) != 1:
+        return None
+    core = middle[0]
+
+    stop_condition: ast.Expr | None = None
+    apply_stmt: ast.Stmt | None = None
+    if isinstance(core, ast.If) and done_variable is not None:
+        # Early-exit form: then-branch sets the done flag, else-branch applies.
+        if not _sets_done_flag(core.then_body, done_variable):
+            return None
+        if len(core.else_body) != 1:
+            return None
+        stop_condition = core.condition
+        apply_stmt = core.else_body[0]
+    else:
+        apply_stmt = core
+
+    if not isinstance(apply_stmt, ast.ExprStmt):
+        return None
+    label = apply_stmt.label
+    expression = apply_stmt.expression
+
+    udf_name = None
+    edgeset_name = None
+    extern_processor = None
+    if isinstance(expression, ast.MethodCall) and expression.method in (
+        "applyUpdatePriority",
+        "apply",
+    ):
+        chain = _match_apply_chain(expression, bucket_name)
+        if chain is None:
+            return None
+        edgeset_name, udf_name = chain
+    elif isinstance(expression, ast.Call) and len(expression.arguments) == 1:
+        argument = expression.arguments[0]
+        if not (isinstance(argument, ast.Name) and argument.identifier == bucket_name):
+            return None
+        extern_processor = expression.function
+    else:
+        return None
+
+    if _bucket_used_elsewhere(main, loop, apply_stmt, bucket_name):
+        return None
+
+    return OrderedLoopInfo(
+        while_stmt=loop,
+        bucket_name=bucket_name,
+        queue_name=queue_name,
+        label=label,
+        udf_name=udf_name,
+        edgeset_name=edgeset_name,
+        stop_condition=stop_condition,
+        done_variable=done_variable,
+        extern_processor=extern_processor,
+    )
+
+
+def _match_condition(
+    condition: ast.Expr, queue_names: set[str]
+) -> tuple[str, str | None] | None:
+    """Match ``pq.finished() == false`` optionally and-ed with
+    ``done == false``; returns (queue name, done variable or None)."""
+    if isinstance(condition, ast.BinaryOp) and condition.operator == "and":
+        left = _match_finished_check(condition.left, queue_names)
+        if left is not None:
+            done = _match_done_check(condition.right)
+            if done is not None:
+                return left, done
+        right = _match_finished_check(condition.right, queue_names)
+        if right is not None:
+            done = _match_done_check(condition.left)
+            if done is not None:
+                return right, done
+        return None
+    queue = _match_finished_check(condition, queue_names)
+    if queue is not None:
+        return queue, None
+    return None
+
+
+def _match_finished_check(expression: ast.Expr, queue_names: set[str]) -> str | None:
+    # `pq.finished() == false` or `not pq.finished()`
+    if (
+        isinstance(expression, ast.BinaryOp)
+        and expression.operator == "=="
+        and isinstance(expression.right, ast.BoolLiteral)
+        and expression.right.value is False
+    ):
+        expression = expression.left
+    elif isinstance(expression, ast.UnaryOp) and expression.operator == "not":
+        expression = expression.operand
+    else:
+        return None
+    if (
+        isinstance(expression, ast.MethodCall)
+        and expression.method == "finished"
+        and isinstance(expression.receiver, ast.Name)
+        and expression.receiver.identifier in queue_names
+    ):
+        return expression.receiver.identifier
+    return None
+
+
+def _match_done_check(expression: ast.Expr) -> str | None:
+    # `done == false` or `not done`
+    if (
+        isinstance(expression, ast.BinaryOp)
+        and expression.operator == "=="
+        and isinstance(expression.left, ast.Name)
+        and isinstance(expression.right, ast.BoolLiteral)
+        and expression.right.value is False
+    ):
+        return expression.left.identifier
+    if (
+        isinstance(expression, ast.UnaryOp)
+        and expression.operator == "not"
+        and isinstance(expression.operand, ast.Name)
+    ):
+        return expression.operand.identifier
+    return None
+
+
+def _is_dequeue_call(expression: ast.Expr | None, queue_name: str) -> bool:
+    return (
+        isinstance(expression, ast.MethodCall)
+        and expression.method == "dequeueReadySet"
+        and isinstance(expression.receiver, ast.Name)
+        and expression.receiver.identifier == queue_name
+    )
+
+
+def _sets_done_flag(body: list[ast.Stmt], done_variable: str) -> bool:
+    return (
+        len(body) == 1
+        and isinstance(body[0], ast.Assign)
+        and isinstance(body[0].target, ast.Name)
+        and body[0].target.identifier == done_variable
+        and isinstance(body[0].value, ast.BoolLiteral)
+        and body[0].value.value is True
+    )
+
+
+def _match_apply_chain(
+    expression: ast.MethodCall, bucket_name: str
+) -> tuple[str, str] | None:
+    """Match ``edges.from(bucket).applyUpdatePriority(udf)``."""
+    if len(expression.arguments) != 1 or not isinstance(
+        expression.arguments[0], ast.Name
+    ):
+        return None
+    udf_name = expression.arguments[0].identifier
+    receiver = expression.receiver
+    if not (
+        isinstance(receiver, ast.MethodCall)
+        and receiver.method == "from"
+        and len(receiver.arguments) == 1
+        and isinstance(receiver.arguments[0], ast.Name)
+        and receiver.arguments[0].identifier == bucket_name
+        and isinstance(receiver.receiver, ast.Name)
+    ):
+        return None
+    return receiver.receiver.identifier, udf_name
+
+
+def _bucket_used_elsewhere(
+    main: ast.FuncDecl,
+    loop: ast.While,
+    apply_stmt: ast.Stmt,
+    bucket_name: str,
+) -> bool:
+    """Check the correctness condition: the bucket may appear only in its
+    declaration, the apply statement, and the delete."""
+    allowed_statements: set[int] = {id(apply_stmt)}
+    for statement in loop.body:
+        if isinstance(statement, (ast.VarDecl, ast.Delete)):
+            allowed_statements.add(id(statement))
+        if isinstance(statement, ast.If):
+            # The early-exit If owns the apply statement; its condition must
+            # not reference the bucket (checked below via walk).
+            allowed_statements.add(id(statement))
+
+    for statement in _all_statements(main.body):
+        if id(statement) in allowed_statements:
+            continue
+        if isinstance(statement, (ast.While, ast.If, ast.For)):
+            # Container statements: only their own condition expressions are
+            # inspected here (children are visited separately).
+            expressions = _statement_expressions(statement, shallow=True)
+        else:
+            expressions = _statement_expressions(statement, shallow=False)
+        for expression in expressions:
+            for node in ast.walk(expression):
+                if isinstance(node, ast.Name) and node.identifier == bucket_name:
+                    return True
+    return False
+
+
+def _statement_expressions(statement: ast.Stmt, shallow: bool):
+    if isinstance(statement, ast.While):
+        return [statement.condition]
+    if isinstance(statement, ast.If):
+        return [statement.condition]
+    if isinstance(statement, ast.For):
+        return [statement.start, statement.stop]
+    if isinstance(statement, ast.VarDecl):
+        return [statement.initializer] if statement.initializer else []
+    if isinstance(statement, ast.Assign):
+        return [statement.target, statement.value]
+    if isinstance(statement, ast.ExprStmt):
+        return [statement.expression]
+    if isinstance(statement, ast.Print):
+        return [statement.expression]
+    if isinstance(statement, ast.Return):
+        return [statement.value] if statement.value else []
+    return []

@@ -1,0 +1,185 @@
+"""Analyses of user-defined functions (Section 5.1).
+
+Two questions the compiler asks about a UDF passed to
+``applyUpdatePriority``:
+
+1. Which priority-update operators does it contain?  (Needed to lower the
+   operators per schedule, to decide whether deduplication is required, and
+   to reject UDFs with no update at all.)
+2. Is it a *constant-sum* UDF — a single ``updatePrioritySum`` whose
+   difference is a compile-time constant and whose threshold is the current
+   bucket priority?  Only then may the ``lazy_constant_sum`` (histogram)
+   schedule be applied; the analysis extracts the pieces the Figure 10
+   transform needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import CompileError
+from ...lang import ast_nodes as ast
+
+__all__ = [
+    "PriorityUpdate",
+    "ConstantSumInfo",
+    "find_priority_updates",
+    "analyze_constant_sum",
+]
+
+_UPDATE_METHODS = {
+    "updatePriorityMin": "min",
+    "updatePriorityMax": "max",
+    "updatePrioritySum": "sum",
+}
+
+
+@dataclass
+class PriorityUpdate:
+    """One priority-update operator occurrence inside a UDF."""
+
+    op: str  # "min", "max", or "sum"
+    call: ast.MethodCall
+    queue_name: str
+    vertex_arg: ast.Expr
+    value_arg: ast.Expr  # new value (min/max) or difference (sum)
+    threshold_arg: ast.Expr | None  # sum only
+
+
+@dataclass
+class ConstantSumInfo:
+    """Everything the histogram transform (Figure 10) needs."""
+
+    update: PriorityUpdate
+    constant: int
+    threshold_is_current_priority: bool
+    vertex_param: str
+
+
+def find_priority_updates(
+    func: ast.FuncDecl, queue_names: set[str]
+) -> list[PriorityUpdate]:
+    """All ``updatePriority*`` calls on known queues inside ``func``."""
+    updates: list[PriorityUpdate] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.MethodCall):
+            continue
+        if node.method not in _UPDATE_METHODS:
+            continue
+        if not isinstance(node.receiver, ast.Name):
+            continue
+        if node.receiver.identifier not in queue_names:
+            continue
+        op = _UPDATE_METHODS[node.method]
+        arguments = node.arguments
+        if op in ("min", "max"):
+            # Both forms appear in the paper: (v, new) and (v, old, new).
+            if len(arguments) == 2:
+                vertex_arg, value_arg = arguments
+            elif len(arguments) == 3:
+                vertex_arg, _, value_arg = arguments
+            else:
+                raise CompileError(
+                    f"line {node.line}: {node.method} takes 2 or 3 arguments"
+                )
+            threshold_arg = None
+        else:
+            if len(arguments) == 2:
+                vertex_arg, value_arg = arguments
+                threshold_arg = None
+            elif len(arguments) == 3:
+                vertex_arg, value_arg, threshold_arg = arguments
+            else:
+                raise CompileError(
+                    f"line {node.line}: updatePrioritySum takes 2 or 3 arguments"
+                )
+        updates.append(
+            PriorityUpdate(
+                op=op,
+                call=node,
+                queue_name=node.receiver.identifier,
+                vertex_arg=vertex_arg,
+                value_arg=value_arg,
+                threshold_arg=threshold_arg,
+            )
+        )
+    return updates
+
+
+def _constant_value(expression: ast.Expr) -> int | None:
+    """Evaluate a literal (possibly negated) integer expression."""
+    if isinstance(expression, ast.IntLiteral):
+        return expression.value
+    if (
+        isinstance(expression, ast.UnaryOp)
+        and expression.operator == "-"
+        and isinstance(expression.operand, ast.IntLiteral)
+    ):
+        return -expression.operand.value
+    return None
+
+
+def _resolves_to_current_priority(
+    expression: ast.Expr, func: ast.FuncDecl, queue_name: str
+) -> bool:
+    """True when ``expression`` is ``pq.getCurrentPriority()`` or a local
+    variable initialized to it (the ``var k`` pattern of Figure 10)."""
+    if _is_current_priority_call(expression, queue_name):
+        return True
+    if isinstance(expression, ast.Name):
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.VarDecl)
+                and node.name == expression.identifier
+                and node.initializer is not None
+                and _is_current_priority_call(node.initializer, queue_name)
+            ):
+                return True
+    return False
+
+
+def _is_current_priority_call(expression: ast.Expr, queue_name: str) -> bool:
+    return (
+        isinstance(expression, ast.MethodCall)
+        and expression.method in ("getCurrentPriority", "get_current_priority")
+        and isinstance(expression.receiver, ast.Name)
+        and expression.receiver.identifier == queue_name
+    )
+
+
+def analyze_constant_sum(
+    func: ast.FuncDecl, queue_names: set[str]
+) -> ConstantSumInfo | None:
+    """Detect the Figure 10 pattern; ``None`` when the UDF does not qualify.
+
+    Requirements (Section 5.1): exactly one priority-update operator, it is
+    an ``updatePrioritySum``, its difference is a compile-time constant, its
+    threshold resolves to the current bucket priority, and its target is a
+    plain parameter of the UDF (so the histogram can be keyed on it).
+    """
+    updates = find_priority_updates(func, queue_names)
+    if len(updates) != 1:
+        return None
+    update = updates[0]
+    if update.op != "sum":
+        return None
+    constant = _constant_value(update.value_arg)
+    if constant is None:
+        return None
+    if update.threshold_arg is None:
+        return None
+    if not _resolves_to_current_priority(
+        update.threshold_arg, func, update.queue_name
+    ):
+        return None
+    if not isinstance(update.vertex_arg, ast.Name):
+        return None
+    parameter_names = {name for name, _ in func.parameters}
+    if update.vertex_arg.identifier not in parameter_names:
+        return None
+    return ConstantSumInfo(
+        update=update,
+        constant=constant,
+        threshold_is_current_priority=True,
+        vertex_param=update.vertex_arg.identifier,
+    )

@@ -1,0 +1,222 @@
+"""The scheduling language (Table 2 of the paper).
+
+A :class:`Schedule` captures every optimization knob for one labelled
+``applyUpdatePriority`` statement; :class:`SchedulingProgram` is the fluent
+builder the paper's schedules are written in::
+
+    program = (SchedulingProgram()
+        .config_apply_priority_update("s1", "lazy")
+        .config_apply_priority_update_delta("s1", 4)
+        .config_apply_direction("s1", "SparsePush")
+        .config_apply_parallelization("s1", "dynamic-vertex-parallel"))
+
+CamelCase aliases (``configApplyPriorityUpdate`` …) are provided so the
+schedules in the paper can be transcribed verbatim.
+
+Illegal combinations are rejected eagerly, mirroring the compiler's
+feasibility analysis: the eager strategies require push-direction traversal
+(the paper combines direction optimization only with lazy schedules), and
+lazy-with-constant-sum additionally requires the midend to prove the UDF
+performs a single constant-difference ``updatePrioritySum``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import SchedulingError
+from ..runtime.threads import PARALLELIZATION_POLICIES
+
+__all__ = [
+    "PRIORITY_UPDATE_STRATEGIES",
+    "TRAVERSAL_DIRECTIONS",
+    "Schedule",
+    "SchedulingProgram",
+]
+
+PRIORITY_UPDATE_STRATEGIES = (
+    "eager_with_fusion",
+    "eager_no_fusion",
+    "lazy",
+    "lazy_constant_sum",
+)
+
+TRAVERSAL_DIRECTIONS = ("SparsePush", "DensePull")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """All optimization settings for one ``applyUpdatePriority`` statement.
+
+    Attributes
+    ----------
+    priority_update:
+        Bucket update strategy (``configApplyPriorityUpdate``).
+    delta:
+        Priority-coarsening factor Δ (``configApplyPriorityUpdateDelta``).
+    bucket_fusion_threshold:
+        Local-bucket size threshold for bucket fusion
+        (``configBucketFusionThreshold``); only meaningful with
+        ``eager_with_fusion``.
+    num_buckets:
+        Number of materialized buckets for the lazy strategies
+        (``configNumBuckets``).
+    direction:
+        Edge traversal direction (``configApplyDirection`` from the original
+        GraphIt scheduling language).
+    parallelization:
+        Load-balancing policy (``configApplyParallelization``).
+    num_threads:
+        Virtual-thread count (an execution parameter in this reproduction;
+        on the paper's testbed this was the machine's core count).
+    chunk_size:
+        Work-chunk granularity for dynamic policies (OpenMP's
+        ``schedule(dynamic, 64)``).
+    """
+
+    priority_update: str = "eager_no_fusion"
+    delta: int = 1
+    bucket_fusion_threshold: int = 1000
+    num_buckets: int = 128
+    direction: str = "SparsePush"
+    parallelization: str = "dynamic-vertex-parallel"
+    num_threads: int = 8
+    chunk_size: int = 64
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation (the compiler's schedule feasibility checks)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        if self.priority_update not in PRIORITY_UPDATE_STRATEGIES:
+            raise SchedulingError(
+                f"unknown priority update strategy {self.priority_update!r}; "
+                f"expected one of {PRIORITY_UPDATE_STRATEGIES}"
+            )
+        if self.direction not in TRAVERSAL_DIRECTIONS:
+            raise SchedulingError(
+                f"unknown traversal direction {self.direction!r}; "
+                f"expected one of {TRAVERSAL_DIRECTIONS}"
+            )
+        if self.parallelization not in PARALLELIZATION_POLICIES:
+            raise SchedulingError(
+                f"unknown parallelization {self.parallelization!r}; "
+                f"expected one of {PARALLELIZATION_POLICIES}"
+            )
+        if self.delta < 1:
+            raise SchedulingError("delta must be >= 1")
+        if self.num_buckets < 1:
+            raise SchedulingError("num_buckets must be >= 1")
+        if self.bucket_fusion_threshold < 1:
+            raise SchedulingError("bucket fusion threshold must be >= 1")
+        if self.num_threads < 1:
+            raise SchedulingError("num_threads must be >= 1")
+        if self.chunk_size < 1:
+            raise SchedulingError("chunk_size must be >= 1")
+        if self.is_eager and self.direction != "SparsePush":
+            # Section 4.2: direction optimization combines with the *lazy*
+            # priority update schedules; the eager runtime is push-only.
+            raise SchedulingError(
+                "eager bucket update requires SparsePush traversal; "
+                "direction optimization is only available with lazy schedules"
+            )
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    @property
+    def is_eager(self) -> bool:
+        return self.priority_update in ("eager_with_fusion", "eager_no_fusion")
+
+    @property
+    def is_lazy(self) -> bool:
+        return not self.is_eager
+
+    @property
+    def uses_fusion(self) -> bool:
+        return self.priority_update == "eager_with_fusion"
+
+    @property
+    def uses_histogram(self) -> bool:
+        return self.priority_update == "lazy_constant_sum"
+
+    def with_(self, **changes) -> "Schedule":
+        """A modified copy (``dataclasses.replace`` with validation)."""
+        return replace(self, **changes)
+
+
+class SchedulingProgram:
+    """Fluent builder over per-label schedules (the ``program->...`` chain)."""
+
+    def __init__(self, default: Schedule | None = None):
+        self._default = default if default is not None else Schedule()
+        self._schedules: dict[str, Schedule] = {}
+
+    # ------------------------------------------------------------------
+    # Table 2 commands
+    # ------------------------------------------------------------------
+    def config_apply_priority_update(self, label: str, config: str) -> "SchedulingProgram":
+        return self._update(label, priority_update=config)
+
+    def config_apply_priority_update_delta(
+        self, label: str, config: int | str
+    ) -> "SchedulingProgram":
+        return self._update(label, delta=self._parse_int(config, "delta"))
+
+    def config_bucket_fusion_threshold(
+        self, label: str, config: int | str
+    ) -> "SchedulingProgram":
+        return self._update(
+            label, bucket_fusion_threshold=self._parse_int(config, "threshold")
+        )
+
+    def config_num_buckets(self, label: str, config: int | str) -> "SchedulingProgram":
+        return self._update(label, num_buckets=self._parse_int(config, "num_buckets"))
+
+    # ------------------------------------------------------------------
+    # Original GraphIt scheduling commands used in the paper
+    # ------------------------------------------------------------------
+    def config_apply_direction(self, label: str, config: str) -> "SchedulingProgram":
+        return self._update(label, direction=config)
+
+    def config_apply_parallelization(self, label: str, config: str) -> "SchedulingProgram":
+        return self._update(label, parallelization=config)
+
+    def config_num_threads(self, label: str, config: int | str) -> "SchedulingProgram":
+        return self._update(label, num_threads=self._parse_int(config, "num_threads"))
+
+    # CamelCase aliases so paper schedules paste directly.
+    configApplyPriorityUpdate = config_apply_priority_update
+    configApplyPriorityUpdateDelta = config_apply_priority_update_delta
+    configBucketFusionThreshold = config_bucket_fusion_threshold
+    configNumBuckets = config_num_buckets
+    configApplyDirection = config_apply_direction
+    configApplyParallelization = config_apply_parallelization
+    configNumThreads = config_num_threads
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def schedule_for(self, label: str) -> Schedule:
+        """The schedule for a label (the default when never configured)."""
+        return self._schedules.get(label, self._default)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        return tuple(self._schedules)
+
+    def _update(self, label: str, **changes) -> "SchedulingProgram":
+        if not label:
+            raise SchedulingError("schedule label must be non-empty")
+        current = self._schedules.get(label, self._default)
+        self._schedules[label] = current.with_(**changes)
+        return self
+
+    @staticmethod
+    def _parse_int(value: int | str, name: str) -> int:
+        try:
+            return int(value)
+        except (TypeError, ValueError) as exc:
+            raise SchedulingError(f"{name} must be an integer, got {value!r}") from exc

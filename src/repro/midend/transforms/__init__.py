@@ -1,0 +1,12 @@
+"""Program transformations: histogram UDF transform, plan construction."""
+
+from .histogram_transform import TRANSFORMED_SUFFIX, build_transformed_udf
+from .lowering import CompilationPlan, plan_program, schedule_from_block
+
+__all__ = [
+    "build_transformed_udf",
+    "TRANSFORMED_SUFFIX",
+    "CompilationPlan",
+    "plan_program",
+    "schedule_from_block",
+]

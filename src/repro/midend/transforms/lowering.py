@@ -1,0 +1,184 @@
+"""The midend driver: analyses + schedule validation → a compilation plan.
+
+``plan_program`` is what both backends consume.  It
+
+1. type-checks the program and finds its priority queue(s),
+2. recognizes the ordered-processing loop in ``main`` (Section 5.2),
+3. resolves the schedule for the loop's label — from an explicit
+   :class:`Schedule`/:class:`SchedulingProgram` argument or from the
+   program's inline ``schedule:`` block,
+4. runs the dependence analysis for atomics/deduplication insertion
+   (Section 5.1),
+5. runs the constant-sum analysis and builds the Figure 10 transformed UDF
+   when the ``lazy_constant_sum`` strategy is scheduled, and
+6. rejects infeasible combinations (eager without a recognizable loop,
+   histogram without a constant-sum UDF, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import CompileError, SchedulingError
+from ...lang import ast_nodes as ast
+from ...lang.symbols import SymbolTable
+from ...lang.typecheck import typecheck
+from ...lang.types import PriorityQueueType
+from ..analysis.dependence import DependenceInfo, analyze_dependences
+from ..analysis.loop_patterns import OrderedLoopInfo, recognize_ordered_loop
+from ..analysis.udf_analysis import (
+    ConstantSumInfo,
+    analyze_constant_sum,
+    find_priority_updates,
+)
+from ..schedule import Schedule, SchedulingProgram
+from .histogram_transform import build_transformed_udf
+
+__all__ = ["CompilationPlan", "plan_program", "schedule_from_block"]
+
+# Maps inline schedule-block commands to SchedulingProgram methods.
+_SCHEDULE_COMMANDS = {
+    "configApplyPriorityUpdate": "config_apply_priority_update",
+    "configApplyPriorityUpdateDelta": "config_apply_priority_update_delta",
+    "configApplyUpdateDelta": "config_apply_priority_update_delta",
+    "configBucketFusionThreshold": "config_bucket_fusion_threshold",
+    "configNumBuckets": "config_num_buckets",
+    "configApplyDirection": "config_apply_direction",
+    "configApplyParallelization": "config_apply_parallelization",
+    "configNumThreads": "config_num_threads",
+}
+
+
+@dataclass
+class CompilationPlan:
+    """Everything a backend needs to generate code for one program."""
+
+    program: ast.Program
+    table: SymbolTable
+    queue_names: set[str]
+    loop: OrderedLoopInfo | None
+    schedule: Schedule
+    udf: ast.FuncDecl | None
+    dependence: DependenceInfo | None
+    constant_sum: ConstantSumInfo | None
+    transformed_udf: ast.FuncDecl | None
+
+    @property
+    def label(self) -> str | None:
+        return self.loop.label if self.loop is not None else None
+
+
+def schedule_from_block(program: ast.Program) -> SchedulingProgram:
+    """Build a :class:`SchedulingProgram` from the inline schedule block."""
+    scheduling = SchedulingProgram()
+    for statement in program.schedule:
+        method_name = _SCHEDULE_COMMANDS.get(statement.command)
+        if method_name is None:
+            raise SchedulingError(
+                f"line {statement.line}: unknown scheduling command "
+                f"{statement.command!r}"
+            )
+        if len(statement.arguments) != 2:
+            raise SchedulingError(
+                f"line {statement.line}: {statement.command} takes a label "
+                f"and one configuration value"
+            )
+        label, value = statement.arguments
+        getattr(scheduling, method_name)(label, value)
+    return scheduling
+
+
+def plan_program(
+    program: ast.Program,
+    schedule: Schedule | SchedulingProgram | None = None,
+) -> CompilationPlan:
+    """Run the midend (see module docstring) and return the plan."""
+    table = typecheck(program)
+
+    queue_names = {
+        const.name
+        for const in program.constants
+        if isinstance(const.declared_type, PriorityQueueType)
+    }
+    # Programs without a priority queue are plain (unordered) GraphIt
+    # programs — e.g. the Bellman-Ford baseline; they compile with no
+    # ordered-processing plan.
+
+    main = program.function("main")
+    if main is None:
+        raise CompileError("program has no main function")
+
+    loop = recognize_ordered_loop(main, queue_names)
+
+    resolved = _resolve_schedule(program, schedule, loop)
+
+    udf: ast.FuncDecl | None = None
+    dependence: DependenceInfo | None = None
+    constant_sum: ConstantSumInfo | None = None
+    transformed: ast.FuncDecl | None = None
+
+    if loop is not None and loop.udf_name is not None:
+        udf = program.function(loop.udf_name)
+        if udf is None:
+            raise CompileError(
+                f"applyUpdatePriority references unknown function "
+                f"{loop.udf_name!r}"
+            )
+        if not find_priority_updates(udf, queue_names):
+            raise CompileError(
+                f"the UDF {udf.name!r} contains no priority update operator"
+            )
+        dependence = analyze_dependences(udf, queue_names, resolved.direction)
+        constant_sum = analyze_constant_sum(udf, queue_names)
+        if resolved.uses_histogram:
+            if constant_sum is None:
+                raise CompileError(
+                    "schedule requests lazy_constant_sum but the UDF is not "
+                    "a single constant-difference updatePrioritySum "
+                    "(Section 5.1's analysis rejected it)"
+                )
+            transformed = build_transformed_udf(udf, constant_sum)
+
+    # The bucketing strategy only constrains *ordered* programs; a program
+    # without a priority queue ignores it.
+    if resolved.is_eager and queue_names:
+        if loop is None:
+            raise CompileError(
+                "eager bucket update requires the ordered-processing while "
+                "loop pattern, which was not found in main"
+            )
+        if not loop.eager_eligible:
+            raise CompileError(
+                "eager bucket update cannot be applied: the loop processes "
+                "buckets through an extern function, so the compiler cannot "
+                "replace it with the ordered processing operator"
+            )
+
+    return CompilationPlan(
+        program=program,
+        table=table,
+        queue_names=queue_names,
+        loop=loop,
+        schedule=resolved,
+        udf=udf,
+        dependence=dependence,
+        constant_sum=constant_sum,
+        transformed_udf=transformed,
+    )
+
+
+def _resolve_schedule(
+    program: ast.Program,
+    schedule: Schedule | SchedulingProgram | None,
+    loop: OrderedLoopInfo | None,
+) -> Schedule:
+    label = loop.label if loop is not None else None
+    if isinstance(schedule, Schedule):
+        return schedule
+    if isinstance(schedule, SchedulingProgram):
+        return schedule.schedule_for(label if label is not None else "")
+    if program.schedule:
+        return schedule_from_block(program).schedule_for(
+            label if label is not None else ""
+        )
+    return Schedule()

@@ -1,0 +1,31 @@
+"""Parallel-runtime substrate: stats, atomics, virtual threads, frontiers."""
+
+from .atomics import AtomicOps
+from .frontier import (
+    TOMBSTONE,
+    compact_frontier,
+    gather_in_edges,
+    gather_out_edges,
+    gather_segments,
+    output_buffer_offsets,
+)
+from .histogram import apply_constant_sum, histogram_counts
+from .stats import DEFAULT_COST_MODEL, CostModel, RuntimeStats
+from .threads import PARALLELIZATION_POLICIES, VirtualThreadPool
+
+__all__ = [
+    "AtomicOps",
+    "RuntimeStats",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "VirtualThreadPool",
+    "PARALLELIZATION_POLICIES",
+    "TOMBSTONE",
+    "output_buffer_offsets",
+    "compact_frontier",
+    "gather_segments",
+    "gather_out_edges",
+    "gather_in_edges",
+    "histogram_counts",
+    "apply_constant_sum",
+]

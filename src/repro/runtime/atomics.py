@@ -1,0 +1,105 @@
+"""Emulated atomic operations.
+
+The Python interpreter runs our virtual threads sequentially, so no physical
+atomicity is needed — but the *count* of atomic operations matters: the
+paper's generated code inserts ``atomicWriteMin`` / CAS instructions only when
+the dependence analysis finds write-write conflicts, and the cost model
+charges for them.  This module provides the same operation vocabulary as the
+generated C++ (Figure 9) with counting hooks, in both scalar and vectorized
+(batch) forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import RuntimeStats
+
+__all__ = ["AtomicOps"]
+
+
+class AtomicOps:
+    """Atomic-operation vocabulary over numpy arrays, with counting.
+
+    Parameters
+    ----------
+    stats:
+        Statistics sink; every operation bumps ``stats.atomic_ops``.  Pass
+        ``None`` to skip counting (used by non-conflicting pull traversals,
+        where the compiler emits plain writes).
+    """
+
+    def __init__(self, stats: RuntimeStats | None = None):
+        self._stats = stats
+
+    def _charge(self, amount: int = 1) -> None:
+        if self._stats is not None:
+            self._stats.atomic_ops += amount
+
+    # ------------------------------------------------------------------
+    # Scalar operations (mirror the generated C++ vocabulary)
+    # ------------------------------------------------------------------
+    def write_min(self, array: np.ndarray, index: int, value: int) -> bool:
+        """``atomicWriteMin``: store ``min(array[index], value)``; True if changed."""
+        self._charge()
+        if value < array[index]:
+            array[index] = value
+            return True
+        return False
+
+    def write_max(self, array: np.ndarray, index: int, value: int) -> bool:
+        """``atomicWriteMax``: store ``max(array[index], value)``; True if changed."""
+        self._charge()
+        if value > array[index]:
+            array[index] = value
+            return True
+        return False
+
+    def cas(self, array: np.ndarray, index: int, expected: int, new: int) -> bool:
+        """Compare-and-swap; True when the swap happened."""
+        self._charge()
+        if array[index] == expected:
+            array[index] = new
+            return True
+        return False
+
+    def fetch_add(self, array: np.ndarray, index: int, delta: int) -> int:
+        """Atomic fetch-and-add; returns the previous value."""
+        self._charge()
+        old = int(array[index])
+        array[index] = old + delta
+        return old
+
+    # ------------------------------------------------------------------
+    # Batch operations (used by the vectorized executors; each element
+    # counts as one atomic, matching what the scalar loop would do)
+    # ------------------------------------------------------------------
+    def write_min_batch(
+        self, array: np.ndarray, indices: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``atomicWriteMin``.
+
+        Applies ``array[i] = min(array[i], v)`` for every (i, v) pair
+        (duplicate indices combine correctly, as a serialization of CAS
+        retries would) and returns a boolean mask marking the pairs whose
+        value equals the post-update minimum — i.e. the writes that "won",
+        matching the return convention of the scalar form.
+        """
+        self._charge(int(indices.size))
+        if indices.size == 0:
+            return np.zeros(0, dtype=bool)
+        old = array[indices].copy()
+        np.minimum.at(array, indices, values)
+        # A pair wins when it strictly improved the previous value and is
+        # at least as good as the final value (ties: all minimal writers win,
+        # as any CAS serialization would admit exactly one of them; callers
+        # use the mask for frontier membership where duplicates are benign).
+        final = array[indices]
+        return (values < old) & (values <= final)
+
+    def fetch_add_batch(
+        self, array: np.ndarray, indices: np.ndarray, deltas: np.ndarray
+    ) -> None:
+        """Vectorized fetch-and-add (results discarded)."""
+        self._charge(int(indices.size))
+        np.add.at(array, indices, deltas)

@@ -1,0 +1,105 @@
+"""Frontier construction helpers.
+
+These correspond to the runtime-library entry points the compiler emits calls
+to in the lazy code path (Figure 9(a)): ``setupOutputBufferOffsets`` (prefix
+sums over out-degrees), ``setupFrontier`` (compacting a sparse output buffer
+with tombstones), and edge gathering for vectorized traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = [
+    "TOMBSTONE",
+    "output_buffer_offsets",
+    "compact_frontier",
+    "gather_segments",
+    "gather_out_edges",
+    "gather_in_edges",
+]
+
+# Sentinel marking an unused slot in a sparse output buffer, playing the role
+# of UINT_MAX in the generated C++.
+TOMBSTONE = np.int64(-1)
+
+
+def output_buffer_offsets(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of the frontier's out-degrees.
+
+    Gives each frontier vertex a private slice of the output buffer, which is
+    how the generated lazy code writes destinations without contention.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
+    offsets = np.zeros(frontier.size + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    return offsets
+
+
+def compact_frontier(out_edges: np.ndarray) -> np.ndarray:
+    """Drop tombstones from a sparse output buffer (``setupFrontier``)."""
+    return out_edges[out_edges != TOMBSTONE]
+
+
+def gather_segments(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Flattened index array covering ``[starts[i], ends[i])`` for every i.
+
+    The standard vectorized segment-gather: positions within the output are
+    offset by each segment's start minus the running output offset.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_offsets = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=out_offsets[1:])
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(out_offsets, lengths)
+        + np.repeat(starts, lengths)
+    )
+
+
+def gather_out_edges(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All out-edges of ``vertices`` as ``(sources, destinations, weights)``.
+
+    Sources are repeated per edge so the three arrays align; this is the
+    vectorized equivalent of the nested source/edge loop in the generated
+    push-direction code.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    starts = graph.indptr[vertices]
+    ends = graph.indptr[vertices + 1]
+    edge_index = gather_segments(starts, ends)
+    sources = np.repeat(vertices, ends - starts)
+    return sources, graph.indices[edge_index], graph.weights[edge_index]
+
+
+def gather_in_edges(
+    graph: CSRGraph, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All in-edges of ``vertices`` as ``(sources, destinations, weights)``.
+
+    Destinations are the given vertices (repeated per edge); used by the
+    pull-direction traversal.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    indptr, indices, weights = graph.in_csr()
+    if vertices.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    starts = indptr[vertices]
+    ends = indptr[vertices + 1]
+    edge_index = gather_segments(starts, ends)
+    dests = np.repeat(vertices, ends - starts)
+    return indices[edge_index], dests, weights[edge_index]

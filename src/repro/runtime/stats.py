@@ -1,0 +1,172 @@
+"""Execution statistics and the simulated-parallel-time cost model.
+
+The paper's comparisons between bucketing strategies reduce to a small set of
+measurable quantities: number of processing rounds (each costing a global
+synchronization), number of fused rounds (which cost no synchronization),
+per-round work and its distribution across threads, bucket insertions, buffer
+traffic for the lazy approach, and atomic operations.  :class:`RuntimeStats`
+counts all of them, and :class:`CostModel` converts them to a simulated
+parallel running time:
+
+    time = sum over rounds of (max work of any thread in that round) * work_unit
+         + (number of global synchronizations) * sync
+         + serial per-operation charges (bucket inserts, buffer ops, atomics)
+
+Because the Python interpreter executes everything sequentially, wall-clock
+time alone cannot reflect barrier costs on a 24-core machine; the simulated
+time restores exactly the component the paper's optimizations target (fewer
+rounds, fewer synchronizations, balanced thread work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RuntimeStats", "CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation charges (arbitrary units; defaults loosely model cycles).
+
+    Attributes
+    ----------
+    work_unit:
+        Cost of one unit of thread work (one edge relaxation or one local
+        bucket operation) on the critical path.
+    sync:
+        Cost of one global synchronization (barrier / round handoff).
+    bucket_insert:
+        Extra charge per bucket insertion beyond the generic work unit
+        (amortized allocation + indexing).
+    buffer_op:
+        Charge per lazy-buffer append or reduction entry.
+    atomic:
+        Extra charge per atomic operation over a plain write.
+    """
+
+    work_unit: float = 1.0
+    sync: float = 600.0
+    bucket_insert: float = 2.0
+    buffer_op: float = 2.0
+    atomic: float = 4.0
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass
+class RuntimeStats:
+    """Counters collected during one algorithm execution."""
+
+    num_threads: int = 1
+    rounds: int = 0
+    fused_rounds: int = 0
+    global_syncs: int = 0
+    relaxations: int = 0
+    priority_updates: int = 0
+    bucket_inserts: int = 0
+    buffer_appends: int = 0
+    buffer_reductions: int = 0
+    histogram_updates: int = 0
+    dedup_hits: int = 0
+    atomic_ops: int = 0
+    vertices_processed: int = 0
+    max_work_per_round: list[int] = field(default_factory=list)
+    total_work_per_round: list[int] = field(default_factory=list)
+    _current_work: list[int] | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Open a new global round; per-thread work accumulators reset."""
+        if self._current_work is not None:
+            raise RuntimeError("begin_round called with a round already open")
+        self._current_work = [0] * self.num_threads
+
+    def add_thread_work(self, thread_id: int, units: int) -> None:
+        """Charge ``units`` of work to ``thread_id`` in the open round."""
+        if self._current_work is None:
+            raise RuntimeError("add_thread_work called outside a round")
+        self._current_work[thread_id] += int(units)
+
+    def end_round(self, syncs: int = 1, fused: int = 0) -> None:
+        """Close the open round.
+
+        Parameters
+        ----------
+        syncs:
+            Number of global synchronizations this round performed (the lazy
+            approach performs two: one to reduce the update buffer and one at
+            the round boundary; the eager approach performs one).
+        fused:
+            Number of extra bucket-processing passes that were folded into
+            this round by bucket fusion (they cost work but no sync).
+        """
+        if self._current_work is None:
+            raise RuntimeError("end_round called without begin_round")
+        self.rounds += 1
+        self.fused_rounds += int(fused)
+        self.global_syncs += int(syncs)
+        self.max_work_per_round.append(max(self._current_work, default=0))
+        self.total_work_per_round.append(sum(self._current_work))
+        self._current_work = None
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_work(self) -> int:
+        """Total work units across all threads and rounds."""
+        return sum(self.total_work_per_round)
+
+    @property
+    def critical_path_work(self) -> int:
+        """Work units on the simulated critical path (max thread per round)."""
+        return sum(self.max_work_per_round)
+
+    def simulated_time(self, cost_model: CostModel = DEFAULT_COST_MODEL) -> float:
+        """Simulated parallel running time under ``cost_model`` (see module doc)."""
+        parallel_ops = (
+            self.bucket_inserts * cost_model.bucket_insert
+            + (self.buffer_appends + self.buffer_reductions) * cost_model.buffer_op
+            + self.atomic_ops * cost_model.atomic
+        ) / max(1, self.num_threads)
+        return (
+            self.critical_path_work * cost_model.work_unit
+            + self.global_syncs * cost_model.sync
+            + parallel_ops
+        )
+
+    def merge(self, other: "RuntimeStats") -> None:
+        """Accumulate another run's counters into this one (for averaging)."""
+        self.rounds += other.rounds
+        self.fused_rounds += other.fused_rounds
+        self.global_syncs += other.global_syncs
+        self.relaxations += other.relaxations
+        self.priority_updates += other.priority_updates
+        self.bucket_inserts += other.bucket_inserts
+        self.buffer_appends += other.buffer_appends
+        self.buffer_reductions += other.buffer_reductions
+        self.histogram_updates += other.histogram_updates
+        self.dedup_hits += other.dedup_hits
+        self.atomic_ops += other.atomic_ops
+        self.vertices_processed += other.vertices_processed
+        self.max_work_per_round.extend(other.max_work_per_round)
+        self.total_work_per_round.extend(other.total_work_per_round)
+
+    def summary(self) -> dict[str, float]:
+        """A flat dictionary of the headline numbers, for reports."""
+        return {
+            "threads": self.num_threads,
+            "rounds": self.rounds,
+            "fused_rounds": self.fused_rounds,
+            "global_syncs": self.global_syncs,
+            "relaxations": self.relaxations,
+            "bucket_inserts": self.bucket_inserts,
+            "buffer_appends": self.buffer_appends,
+            "total_work": self.total_work,
+            "critical_path_work": self.critical_path_work,
+            "simulated_time": self.simulated_time(),
+        }

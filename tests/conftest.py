@@ -1,0 +1,43 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, rmat, road_grid
+
+
+@pytest.fixture
+def diamond_graph():
+    """A 5-vertex weighted DAG with two competing paths.
+
+    Shortest distances from 0: [0, 2, 5, 6, 7].
+    """
+    return from_edges(
+        5, [(0, 1, 2), (0, 2, 7), (1, 2, 3), (2, 3, 1), (1, 3, 10), (3, 4, 1)]
+    )
+
+
+@pytest.fixture
+def small_social():
+    """An R-MAT graph big enough to exercise all code paths (~2k vertices)."""
+    return rmat(11, 16, seed=3)
+
+
+@pytest.fixture
+def small_social_source(small_social):
+    """A high-out-degree source so most of the graph is reachable."""
+    return int(np.argmax(small_social.out_degrees()))
+
+
+@pytest.fixture
+def small_road():
+    """A road grid with a meaningful diameter (~30x30)."""
+    return road_grid(28, 30, seed=4)
+
+
+@pytest.fixture
+def small_symmetric(small_social):
+    """Symmetrized social graph for k-core / SetCover."""
+    return small_social.symmetrized()

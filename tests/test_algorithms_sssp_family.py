@@ -1,0 +1,268 @@
+"""Correctness and behaviour tests for the Δ-stepping family (direct API)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    UNREACHABLE,
+    astar,
+    bellman_ford,
+    dijkstra_reference,
+    euclidean_heuristic,
+    ppsp,
+    sssp,
+    wbfs,
+)
+from repro.errors import GraphError, SchedulingError
+from repro.graph import assign_log_weights, from_edges, path_graph, rmat, road_grid
+from repro.midend import Schedule
+
+STRATEGIES = ["lazy", "eager_no_fusion", "eager_with_fusion"]
+
+
+@pytest.fixture(scope="module")
+def social():
+    graph = rmat(10, 16, seed=3)
+    source = int(np.argmax(graph.out_degrees()))
+    return graph, source, dijkstra_reference(graph, source)
+
+
+@pytest.fixture(scope="module")
+def road():
+    graph = road_grid(22, 24, seed=4)
+    return graph, dijkstra_reference(graph, 0)
+
+
+class TestSSSP:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("delta", [1, 16, 512])
+    def test_matches_dijkstra_social(self, social, strategy, delta):
+        graph, source, reference = social
+        result = sssp(
+            graph,
+            source,
+            Schedule(priority_update=strategy, delta=delta, num_threads=4),
+        )
+        assert np.array_equal(result.distances, reference)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_matches_dijkstra_road(self, road, strategy):
+        graph, reference = road
+        result = sssp(
+            graph, 0, Schedule(priority_update=strategy, delta=1024, num_threads=4)
+        )
+        assert np.array_equal(result.distances, reference)
+
+    def test_densepull_matches(self, social):
+        graph, source, reference = social
+        result = sssp(
+            graph,
+            source,
+            Schedule(
+                priority_update="lazy", delta=16, direction="DensePull", num_threads=4
+            ),
+        )
+        assert np.array_equal(result.distances, reference)
+        # Pull direction needs no atomics (Figure 9(b)).
+        assert result.stats.atomic_ops == 0
+
+    def test_relaxed_ordering_matches(self, social):
+        graph, source, reference = social
+        result = sssp(
+            graph, source, Schedule(delta=16, num_threads=4), relaxed_ordering=True
+        )
+        assert np.array_equal(result.distances, reference)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    def test_thread_counts_agree(self, social, threads):
+        graph, source, reference = social
+        result = sssp(
+            graph,
+            source,
+            Schedule(
+                priority_update="eager_with_fusion", delta=16, num_threads=threads
+            ),
+        )
+        assert np.array_equal(result.distances, reference)
+
+    def test_unreachable_vertices(self):
+        graph = from_edges(4, [(0, 1, 5)])
+        result = sssp(graph, 0, Schedule(delta=4))
+        assert result.distances.tolist() == [0, 5, UNREACHABLE, UNREACHABLE]
+        assert result.reachable().tolist() == [True, True, False, False]
+
+    def test_single_vertex(self):
+        graph = from_edges(1, [])
+        result = sssp(graph, 0)
+        assert result.distances.tolist() == [0]
+
+    def test_source_out_of_range(self, social):
+        graph, _, _ = social
+        with pytest.raises(GraphError):
+            sssp(graph, graph.num_vertices)
+
+    def test_histogram_schedule_rejected(self, social):
+        graph, source, _ = social
+        with pytest.raises(SchedulingError):
+            sssp(graph, source, Schedule(priority_update="lazy_constant_sum"))
+
+    def test_fusion_reduces_rounds_on_road(self, road):
+        graph, _ = road
+        fused = sssp(
+            graph,
+            0,
+            Schedule(priority_update="eager_with_fusion", delta=1024, num_threads=4),
+        )
+        plain = sssp(
+            graph,
+            0,
+            Schedule(priority_update="eager_no_fusion", delta=1024, num_threads=4),
+        )
+        assert fused.stats.rounds < plain.stats.rounds
+        assert fused.stats.fused_rounds > 0
+        assert fused.stats.global_syncs < plain.stats.global_syncs
+
+    def test_lazy_pays_two_syncs_per_round(self, social):
+        graph, source, _ = social
+        lazy = sssp(graph, source, Schedule(priority_update="lazy", delta=16))
+        eager = sssp(graph, source, Schedule(priority_update="eager_no_fusion", delta=16))
+        assert lazy.stats.global_syncs == 2 * lazy.stats.rounds
+        assert eager.stats.global_syncs == eager.stats.rounds
+
+    def test_lazy_dedups_bucket_insertions(self, social):
+        graph, source, _ = social
+        lazy = sssp(graph, source, Schedule(priority_update="lazy", delta=64))
+        eager = sssp(
+            graph, source, Schedule(priority_update="eager_no_fusion", delta=64)
+        )
+        # Eager pays one insertion per priority improvement; lazy one per
+        # vertex per round (the Section 3 tradeoff).
+        assert lazy.stats.bucket_inserts <= eager.stats.bucket_inserts
+
+    def test_delta_one_equals_larger_delta_distances(self, road):
+        graph, reference = road
+        for delta in (1, 64, 4096):
+            result = sssp(graph, 0, Schedule(delta=delta, num_threads=2))
+            assert np.array_equal(result.distances, reference)
+
+
+class TestWBFS:
+    def test_matches_dijkstra_on_log_weights(self):
+        graph = assign_log_weights(rmat(9, 12, seed=7), seed=1)
+        source = int(np.argmax(graph.out_degrees()))
+        reference = dijkstra_reference(graph, source)
+        for strategy in STRATEGIES:
+            result = wbfs(graph, source, Schedule(priority_update=strategy, delta=1))
+            assert np.array_equal(result.distances, reference), strategy
+
+    def test_delta_must_be_one(self):
+        graph = path_graph(4)
+        with pytest.raises(SchedulingError):
+            wbfs(graph, 0, Schedule(delta=4))
+
+
+class TestPPSP:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_exact_target_distance(self, road, strategy):
+        graph, reference = road
+        target = graph.num_vertices - 1
+        result = ppsp(
+            graph,
+            0,
+            target,
+            Schedule(priority_update=strategy, delta=1024, num_threads=4),
+        )
+        assert result.target_distance == reference[target]
+
+    def test_early_exit_does_less_work(self, road):
+        graph, _ = road
+        target = graph.num_vertices // 4
+        schedule = Schedule(priority_update="eager_with_fusion", delta=1024)
+        full = sssp(graph, 0, schedule)
+        early = ppsp(graph, 0, target, schedule)
+        assert early.stats.relaxations < full.stats.relaxations
+
+    def test_unreachable_target(self):
+        graph = from_edges(3, [(0, 1, 1)])
+        result = ppsp(graph, 0, 2, Schedule(delta=2))
+        assert result.target_distance == UNREACHABLE
+
+    def test_target_required_in_range(self, road):
+        graph, _ = road
+        with pytest.raises(GraphError):
+            ppsp(graph, 0, graph.num_vertices)
+
+
+class TestAStar:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_exact_path_length(self, road, strategy):
+        graph, reference = road
+        target = graph.num_vertices - 1
+        result = astar(
+            graph,
+            0,
+            target,
+            Schedule(priority_update=strategy, delta=1024, num_threads=4),
+        )
+        assert result.target_distance == reference[target]
+
+    def test_heuristic_prunes_work(self, road):
+        # The heuristic only has traction when Δ is small relative to the
+        # f-value spread; with a huge Δ everything shares one bucket and A*
+        # can do *more* work than PPSP (the paper notes A* is "sometimes
+        # slower than PPSP").  At a fine Δ it must prune.
+        graph, _ = road
+        target = graph.num_vertices - 1
+        schedule = Schedule(priority_update="eager_with_fusion", delta=64)
+        plain = ppsp(graph, 0, target, schedule)
+        informed = astar(graph, 0, target, schedule)
+        assert informed.stats.relaxations < plain.stats.relaxations
+        assert informed.stats.vertices_processed < plain.stats.vertices_processed
+
+    def test_heuristic_is_admissible(self, road):
+        graph, reference = road
+        target = graph.num_vertices - 1
+        heuristic = euclidean_heuristic(graph, target)
+        reachable = reference != UNREACHABLE
+        # h(v) <= true remaining distance for all v on shortest paths from 0.
+        back = dijkstra_reference(graph.reversed(), target)
+        ok = back != UNREACHABLE
+        assert np.all(heuristic[ok] <= back[ok])
+        assert heuristic[target] == 0
+        assert reachable[target]
+
+    def test_requires_coordinates(self):
+        graph = path_graph(4)
+        with pytest.raises(GraphError):
+            astar(graph, 0, 3)
+
+    def test_custom_heuristic(self, road):
+        graph, reference = road
+        target = graph.num_vertices - 1
+        zero = np.zeros(graph.num_vertices, dtype=np.int64)
+        result = astar(graph, 0, target, Schedule(delta=1024), heuristic=zero)
+        assert result.target_distance == reference[target]
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra(self, social):
+        graph, source, reference = social
+        result = bellman_ford(graph, source, num_threads=4)
+        assert np.array_equal(result.distances, reference)
+
+    def test_no_early_exit_with_target(self, road):
+        graph, reference = road
+        target = graph.num_vertices // 4
+        result = bellman_ford(graph, 0, target=target)
+        # Unordered PPSP costs the same as full SSSP (Table 4's pattern).
+        assert np.array_equal(result.distances, reference)
+
+    def test_more_relaxations_than_ordered(self, road):
+        graph, _ = road
+        unordered = bellman_ford(graph, 0, num_threads=4)
+        ordered = sssp(
+            graph,
+            0,
+            Schedule(priority_update="eager_with_fusion", delta=1024, num_threads=4),
+        )
+        assert unordered.stats.relaxations > ordered.stats.relaxations

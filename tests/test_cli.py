@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import dijkstra_reference
+from repro.cli import main
+from repro.graph import load_edge_list, rmat, save_edge_list
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "graph.el"
+    graph = rmat(8, 10, seed=3)
+    save_edge_list(graph, path)
+    source = int(np.argmax(graph.out_degrees()))
+    return str(path), graph, source
+
+
+class TestGenerate:
+    def test_rmat(self, tmp_path, capsys):
+        out = tmp_path / "g.el"
+        code = main(["generate", "rmat", "--scale", "6", "-o", str(out)])
+        assert code == 0
+        graph = load_edge_list(out)
+        assert graph.num_vertices <= 64
+        assert "wrote rmat graph" in capsys.readouterr().out
+
+    def test_road(self, tmp_path):
+        out = tmp_path / "r.el"
+        assert main(["generate", "road", "--scale", "8", "-o", str(out)]) == 0
+        graph = load_edge_list(out)
+        assert graph.is_symmetric()
+
+
+class TestCompile:
+    def test_python_to_stdout(self, capsys):
+        assert main(["compile", "sssp"]) == 0
+        out = capsys.readouterr().out
+        assert "def program(ctx):" in out
+
+    def test_cpp_to_file(self, tmp_path, capsys):
+        out = tmp_path / "sssp.cpp"
+        code = main(
+            [
+                "compile",
+                "sssp",
+                "--backend",
+                "cpp",
+                "--priority-update",
+                "eager_with_fusion",
+                "--delta",
+                "8",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "bucket fusion" in text
+
+    def test_compile_gt_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.gt"
+        from repro.lang import program_source
+
+        source.write_text(program_source("kcore"))
+        assert main(["compile", str(source)]) == 0
+        assert "apply_f" in capsys.readouterr().out
+
+    def test_unknown_program_errors(self, capsys):
+        assert main(["compile", "pagerank2000"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_schedule_errors(self, capsys):
+        code = main(
+            [
+                "compile",
+                "sssp",
+                "--priority-update",
+                "eager_no_fusion",
+                "--direction",
+                "DensePull",
+            ]
+        )
+        assert code == 1
+        assert "SparsePush" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_sssp(self, graph_file, capsys):
+        path, graph, source = graph_file
+        code = main(
+            [
+                "run",
+                "sssp",
+                path,
+                str(source),
+                "--priority-update",
+                "eager_with_fusion",
+                "--delta",
+                "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds=" in out
+        assert "vector dist:" in out
+        reference = dijkstra_reference(graph, source)
+        finite = reference[reference < 2**62]
+        assert f"max={finite.max()}" in out
+
+    def test_run_kcore(self, tmp_path, capsys):
+        sym = rmat(7, 8, seed=2).symmetrized()
+        path = tmp_path / "sym.el"
+        save_edge_list(sym, path)
+        code = main(
+            ["run", "kcore", str(path), "--priority-update", "lazy_constant_sum"]
+        )
+        assert code == 0
+        assert "vector D:" in capsys.readouterr().out
+
+
+class TestAutotune:
+    def test_autotune_sssp(self, graph_file, capsys):
+        path, _, source = graph_file
+        code = main(
+            [
+                "autotune",
+                "sssp",
+                path,
+                "--source",
+                str(source),
+                "--trials",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best schedule" in out
+        assert "priority_update=" in out

@@ -1,0 +1,191 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    assign_log_weights,
+    assign_uniform_weights,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    random_geometric,
+    rmat,
+    road_grid,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_size(self):
+        graph = rmat(8, 8, seed=1)
+        assert graph.num_vertices == 256
+        # Dedup and self-loop removal shrink the raw 2048 edges.
+        assert 0 < graph.num_edges <= 2048
+
+    def test_deterministic(self):
+        a = rmat(7, 8, seed=5)
+        b = rmat(7, 8, seed=5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_seed_changes_graph(self):
+        a = rmat(7, 8, seed=5)
+        b = rmat(7, 8, seed=6)
+        assert not (
+            a.num_edges == b.num_edges and np.array_equal(a.indices, b.indices)
+        )
+
+    def test_heavy_tail(self):
+        graph = rmat(11, 16, seed=1)
+        degrees = graph.out_degrees()
+        # Skewed distribution: the max degree dwarfs the mean.
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_no_self_loops(self):
+        graph = rmat(8, 8, seed=2)
+        sources, dests, _ = graph.edge_list()
+        assert not np.any(sources == dests)
+
+    def test_weight_range(self):
+        graph = rmat(8, 8, seed=1, weights=(1, 50))
+        assert graph.weights.min() >= 1
+        assert graph.weights.max() < 50
+
+    def test_unweighted(self):
+        graph = rmat(6, 4, seed=1, weights=None)
+        assert np.all(graph.weights == 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GraphError):
+            rmat(-1, 8)
+        with pytest.raises(GraphError):
+            rmat(4, 8, a=0.5, b=0.5, c=0.5)
+
+
+class TestRoadGrid:
+    def test_size_and_symmetry(self):
+        graph = road_grid(10, 12, seed=2)
+        assert graph.num_vertices == 120
+        assert graph.is_symmetric()
+
+    def test_has_coordinates(self):
+        graph = road_grid(5, 5, seed=1)
+        assert graph.has_coordinates
+        assert graph.coordinates.shape == (25, 2)
+
+    def test_connected(self):
+        graph = road_grid(12, 9, seed=3)
+        # BFS from 0 must reach everything (spanning tree edges kept).
+        seen = np.zeros(graph.num_vertices, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            v = stack.pop()
+            for u in graph.out_neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(int(u))
+        assert seen.all()
+
+    def test_weights_dominate_euclidean_distance(self):
+        # Admissibility of the A* heuristic depends on this.
+        graph = road_grid(8, 8, seed=4)
+        sources, dests, weights = graph.edge_list()
+        deltas = graph.coordinates[sources] - graph.coordinates[dests]
+        euclid = np.hypot(deltas[:, 0], deltas[:, 1])
+        assert np.all(weights >= euclid - 1e-9)
+
+    def test_large_diameter(self):
+        graph = road_grid(20, 20, seed=5)
+        # Unweighted BFS depth from a corner is on the order of rows+cols.
+        depth = _bfs_depth(graph, 0)
+        assert depth >= 20
+
+    def test_deterministic(self):
+        a = road_grid(6, 7, seed=9)
+        b = road_grid(6, 7, seed=9)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.coordinates, b.coordinates)
+
+    def test_invalid_dims(self):
+        with pytest.raises(GraphError):
+            road_grid(0, 5)
+
+
+class TestOtherGenerators:
+    def test_erdos_renyi(self):
+        graph = erdos_renyi(100, 500, seed=1)
+        assert graph.num_vertices == 100
+        assert 0 < graph.num_edges <= 500
+
+    def test_random_geometric_symmetric_with_coords(self):
+        graph = random_geometric(200, 0.12, seed=3)
+        assert graph.is_symmetric()
+        assert graph.has_coordinates
+
+    def test_path_graph(self):
+        graph = path_graph(4, weight=3)
+        assert graph.num_edges == 3
+        assert graph.out_neighbors(1).tolist() == [2]
+
+    def test_path_graph_symmetric(self):
+        graph = path_graph(4, symmetric=True)
+        assert graph.is_symmetric()
+        assert graph.num_edges == 6
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert graph.out_neighbors(4).tolist() == [0]
+
+    def test_star_graph(self):
+        graph = star_graph(6)
+        assert graph.num_vertices == 7
+        assert graph.out_degree(0) == 6
+        assert graph.in_degree(0) == 6
+
+    def test_complete_graph(self):
+        graph = complete_graph(5)
+        assert graph.num_edges == 20
+        assert not np.any(graph.indices == np.repeat(np.arange(5), 4))
+
+
+class TestWeightAssignment:
+    def test_uniform(self):
+        graph = assign_uniform_weights(path_graph(10), 5, 9, seed=1)
+        assert graph.weights.min() >= 5
+        assert graph.weights.max() < 9
+
+    def test_log_weights_range(self):
+        base = rmat(10, 8, seed=1)
+        graph = assign_log_weights(base, seed=2)
+        assert graph.weights.min() >= 1
+        assert graph.weights.max() < max(2, int(np.log2(base.num_vertices)))
+
+    def test_assignment_preserves_topology(self):
+        base = rmat(8, 8, seed=1)
+        graph = assign_uniform_weights(base, seed=3)
+        assert np.array_equal(base.indices, graph.indices)
+        assert np.array_equal(base.indptr, graph.indptr)
+
+
+def _bfs_depth(graph, source) -> int:
+    seen = np.zeros(graph.num_vertices, dtype=bool)
+    seen[source] = True
+    frontier = [source]
+    depth = 0
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in graph.out_neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    nxt.append(int(u))
+        if not nxt:
+            break
+        frontier = nxt
+        depth += 1
+    return depth

@@ -1,0 +1,146 @@
+"""Unit tests for the CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, from_edges
+
+
+def test_basic_counts(diamond_graph):
+    assert diamond_graph.num_vertices == 5
+    assert diamond_graph.num_edges == 6
+
+
+def test_out_neighbors_and_weights(diamond_graph):
+    assert diamond_graph.out_neighbors(0).tolist() == [1, 2]
+    assert diamond_graph.out_weights(0).tolist() == [2, 7]
+    assert diamond_graph.out_neighbors(4).tolist() == []
+
+
+def test_out_edges_iteration(diamond_graph):
+    assert list(diamond_graph.out_edges(1)) == [(2, 3), (3, 10)]
+
+
+def test_degrees(diamond_graph):
+    assert diamond_graph.out_degrees().tolist() == [2, 2, 1, 1, 0]
+    assert diamond_graph.out_degree(0) == 2
+    assert diamond_graph.in_degree(3) == 2
+    assert diamond_graph.in_degrees().tolist() == [0, 1, 2, 2, 1]
+
+
+def test_in_neighbors(diamond_graph):
+    assert sorted(diamond_graph.in_neighbors(3).tolist()) == [1, 2]
+    assert diamond_graph.in_neighbors(0).tolist() == []
+
+
+def test_in_weights_align_with_in_neighbors(diamond_graph):
+    sources = diamond_graph.in_neighbors(3).tolist()
+    weights = diamond_graph.in_weights(3).tolist()
+    assert dict(zip(sources, weights)) == {1: 10, 2: 1}
+
+
+def test_edge_list_roundtrip(diamond_graph):
+    sources, dests, weights = diamond_graph.edge_list()
+    rebuilt = from_edges(5, zip(sources.tolist(), dests.tolist(), weights.tolist()))
+    assert np.array_equal(rebuilt.indptr, diamond_graph.indptr)
+    assert np.array_equal(rebuilt.indices, diamond_graph.indices)
+    assert np.array_equal(rebuilt.weights, diamond_graph.weights)
+
+
+def test_reversed_transposes(diamond_graph):
+    reverse = diamond_graph.reversed()
+    assert reverse.num_edges == diamond_graph.num_edges
+    assert sorted(reverse.out_neighbors(3).tolist()) == [1, 2]
+    assert reverse.out_neighbors(0).tolist() == []
+
+
+def test_reversed_twice_is_identity(diamond_graph):
+    twice = diamond_graph.reversed().reversed()
+    assert np.array_equal(twice.indptr, diamond_graph.indptr)
+    assert np.array_equal(twice.indices, diamond_graph.indices)
+
+
+def test_symmetrized(diamond_graph):
+    sym = diamond_graph.symmetrized()
+    assert sym.is_symmetric()
+    assert 0 in sym.out_neighbors(1).tolist()
+    # Symmetrization keeps the minimum weight of parallel edges.
+    idx = sym.out_neighbors(1).tolist().index(0)
+    assert sym.out_weights(1)[idx] == 2
+
+
+def test_is_symmetric_false_for_directed(diamond_graph):
+    assert not diamond_graph.is_symmetric()
+
+
+def test_with_weights(diamond_graph):
+    unit = diamond_graph.with_weights(np.ones(6, dtype=np.int64))
+    assert unit.out_weights(0).tolist() == [1, 1]
+    # Original untouched.
+    assert diamond_graph.out_weights(0).tolist() == [2, 7]
+
+
+def test_unweighted_defaults_to_one():
+    graph = from_edges(3, [(0, 1), (1, 2)])
+    assert graph.weights.tolist() == [1, 1]
+
+
+def test_coordinates_shape_validation():
+    with pytest.raises(GraphError):
+        CSRGraph(
+            np.array([0, 1], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            coordinates=np.zeros((3, 2)),
+        )
+
+
+def test_with_coordinates(diamond_graph):
+    coords = np.arange(10, dtype=np.float64).reshape(5, 2)
+    located = diamond_graph.with_coordinates(coords)
+    assert located.has_coordinates
+    assert not diamond_graph.has_coordinates
+    assert np.array_equal(located.coordinates, coords)
+
+
+def test_vertex_range_checks(diamond_graph):
+    with pytest.raises(GraphError):
+        diamond_graph.out_neighbors(5)
+    with pytest.raises(GraphError):
+        diamond_graph.out_degree(-1)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([1, 2], dtype=np.int64), np.array([0], dtype=np.int64))
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2], dtype=np.int64), np.array([0], dtype=np.int64))
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2, 1], dtype=np.int64), np.array([0, 0], dtype=np.int64))
+
+
+def test_destination_out_of_range_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 1], dtype=np.int64), np.array([5], dtype=np.int64))
+
+
+def test_misaligned_weights_rejected():
+    with pytest.raises(GraphError):
+        CSRGraph(
+            np.array([0, 1], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            weights=np.array([1, 2], dtype=np.int64),
+        )
+
+
+def test_empty_graph():
+    empty = CSRGraph(np.array([0], dtype=np.int64), np.empty(0, dtype=np.int64))
+    assert empty.num_vertices == 0
+    assert empty.num_edges == 0
+
+
+def test_single_vertex_no_edges():
+    lone = CSRGraph(np.array([0, 0], dtype=np.int64), np.empty(0, dtype=np.int64))
+    assert lone.num_vertices == 1
+    assert lone.out_degree(0) == 0
+    assert lone.in_degree(0) == 0

@@ -1,0 +1,324 @@
+"""Unit tests for the midend: analyses, transforms, schedule planning."""
+
+import pytest
+
+from repro.errors import CompileError, SchedulingError
+from repro.lang import ALL_PROGRAMS, parse
+from repro.lang import ast_nodes as ast
+from repro.midend import Schedule, SchedulingProgram
+from repro.midend.analysis import (
+    analyze_constant_sum,
+    analyze_dependences,
+    find_priority_updates,
+    recognize_ordered_loop,
+)
+from repro.midend.transforms import (
+    build_transformed_udf,
+    plan_program,
+    schedule_from_block,
+)
+
+
+def _program(name: str) -> ast.Program:
+    return parse(ALL_PROGRAMS[name])
+
+
+class TestScheduleObject:
+    def test_defaults_valid(self):
+        Schedule()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(priority_update="eager_maybe")
+
+    def test_eager_with_densepull_rejected(self):
+        with pytest.raises(SchedulingError):
+            Schedule(priority_update="eager_no_fusion", direction="DensePull")
+
+    def test_lazy_with_densepull_allowed(self):
+        Schedule(priority_update="lazy", direction="DensePull")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("delta", 0),
+            ("num_buckets", 0),
+            ("bucket_fusion_threshold", 0),
+            ("num_threads", 0),
+            ("chunk_size", 0),
+        ],
+    )
+    def test_positive_parameters(self, field, value):
+        with pytest.raises(SchedulingError):
+            Schedule(**{field: value})
+
+    def test_with_validates(self):
+        schedule = Schedule(priority_update="lazy", direction="DensePull")
+        with pytest.raises(SchedulingError):
+            schedule.with_(priority_update="eager_no_fusion")
+
+    def test_flags(self):
+        assert Schedule(priority_update="eager_with_fusion").uses_fusion
+        assert Schedule(priority_update="lazy_constant_sum").uses_histogram
+        assert Schedule(priority_update="lazy").is_lazy
+        assert Schedule(priority_update="eager_no_fusion").is_eager
+
+
+class TestSchedulingProgram:
+    def test_fluent_chain(self):
+        program = (
+            SchedulingProgram()
+            .config_apply_priority_update("s1", "lazy")
+            .config_apply_priority_update_delta("s1", 4)
+            .config_num_buckets("s1", 64)
+        )
+        schedule = program.schedule_for("s1")
+        assert schedule.priority_update == "lazy"
+        assert schedule.delta == 4
+        assert schedule.num_buckets == 64
+
+    def test_camelcase_aliases(self):
+        program = SchedulingProgram().configApplyPriorityUpdate("s1", "lazy")
+        assert program.schedule_for("s1").priority_update == "lazy"
+
+    def test_unconfigured_label_gets_default(self):
+        assert SchedulingProgram().schedule_for("s9") == Schedule()
+
+    def test_string_int_parsing(self):
+        program = SchedulingProgram().config_apply_priority_update_delta("s1", "16")
+        assert program.schedule_for("s1").delta == 16
+        with pytest.raises(SchedulingError):
+            SchedulingProgram().config_apply_priority_update_delta("s1", "four")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SchedulingError):
+            SchedulingProgram().config_apply_priority_update("", "lazy")
+
+    def test_remaining_commands(self):
+        program = (
+            SchedulingProgram()
+            .config_apply_priority_update("s1", "lazy")
+            .config_apply_direction("s1", "DensePull")
+            .config_apply_parallelization("s1", "static-vertex-parallel")
+            .config_bucket_fusion_threshold("s1", 256)
+            .config_num_threads("s1", 12)
+        )
+        schedule = program.schedule_for("s1")
+        assert schedule.direction == "DensePull"
+        assert schedule.parallelization == "static-vertex-parallel"
+        assert schedule.bucket_fusion_threshold == 256
+        assert schedule.num_threads == 12
+        assert program.labels == ("s1",)
+
+
+class TestLoopRecognition:
+    def test_sssp_plain_loop(self):
+        program = _program("sssp")
+        info = recognize_ordered_loop(program.function("main"), {"pq"})
+        assert info is not None
+        assert info.bucket_name == "bucket"
+        assert info.udf_name == "updateEdge"
+        assert info.edgeset_name == "edges"
+        assert info.label == "s1"
+        assert info.stop_condition is None
+        assert info.eager_eligible
+
+    def test_ppsp_early_exit_loop(self):
+        program = _program("ppsp")
+        info = recognize_ordered_loop(program.function("main"), {"pq"})
+        assert info is not None
+        assert info.stop_condition is not None
+        assert info.done_variable == "done"
+
+    def test_setcover_extern_loop(self):
+        program = _program("setcover")
+        info = recognize_ordered_loop(program.function("main"), {"pq"})
+        assert info is not None
+        assert info.extern_processor == "processBucket"
+        assert not info.eager_eligible
+
+    def test_bucket_used_elsewhere_blocks_recognition(self):
+        source = ALL_PROGRAMS["sssp"].replace(
+            "delete bucket;",
+            "var n : int = bucket.getVertexSetSize();\n        delete bucket;",
+        )
+        program = parse(source)
+        info = recognize_ordered_loop(program.function("main"), {"pq"})
+        assert info is None
+
+    def test_non_matching_loop_ignored(self):
+        program = parse(
+            "element Vertex end\nconst pq : priority_queue{Vertex}(int);\n"
+            "func main()\n var x : int = 0;\n while x < 3\n x = x + 1;\n end\nend"
+        )
+        assert recognize_ordered_loop(program.function("main"), {"pq"}) is None
+
+
+class TestUdfAnalysis:
+    def test_find_min_update(self):
+        program = _program("sssp")
+        updates = find_priority_updates(program.function("updateEdge"), {"pq"})
+        assert len(updates) == 1
+        assert updates[0].op == "min"
+        assert isinstance(updates[0].vertex_arg, ast.Name)
+        assert updates[0].vertex_arg.identifier == "dst"
+
+    def test_three_argument_form_drops_old_value(self):
+        program = _program("sssp")
+        update = find_priority_updates(program.function("updateEdge"), {"pq"})[0]
+        # Figure 3 passes (dst, dist[dst], new_dist); the value is the last.
+        assert isinstance(update.value_arg, ast.Name)
+        assert update.value_arg.identifier == "new_dist"
+
+    def test_constant_sum_detected_for_kcore(self):
+        program = _program("kcore")
+        info = analyze_constant_sum(program.function("apply_f"), {"pq"})
+        assert info is not None
+        assert info.constant == -1
+        assert info.vertex_param == "dst"
+        assert info.threshold_is_current_priority
+
+    def test_constant_sum_rejected_for_min_udf(self):
+        program = _program("sssp")
+        assert analyze_constant_sum(program.function("updateEdge"), {"pq"}) is None
+
+    def test_constant_sum_requires_literal_difference(self):
+        source = ALL_PROGRAMS["kcore"].replace(
+            "pq.updatePrioritySum(dst, -1, k);",
+            "var d : int = 0 - 1;\n    pq.updatePrioritySum(dst, d, k);",
+        )
+        program = parse(source)
+        assert analyze_constant_sum(program.function("apply_f"), {"pq"}) is None
+
+
+class TestDependenceAnalysis:
+    def test_push_needs_atomics(self):
+        program = _program("sssp")
+        info = analyze_dependences(program.function("updateEdge"), {"pq"})
+        assert info.needs_atomics
+        assert not info.needs_deduplication
+
+    def test_pull_needs_no_atomics(self):
+        program = _program("sssp")
+        info = analyze_dependences(
+            program.function("updateEdge"), {"pq"}, direction="DensePull"
+        )
+        assert not info.needs_atomics
+
+    def test_kcore_needs_dedup(self):
+        program = _program("kcore")
+        info = analyze_dependences(program.function("apply_f"), {"pq"})
+        assert info.needs_deduplication
+
+    def test_direct_vector_write_counts(self):
+        program = _program("astar")
+        info = analyze_dependences(program.function("updateEdge"), {"pq"})
+        assert "dist" in info.destination_writes
+
+
+class TestHistogramTransform:
+    def test_transformed_shape_matches_figure10(self):
+        program = _program("kcore")
+        info = analyze_constant_sum(program.function("apply_f"), {"pq"})
+        transformed = build_transformed_udf(program.function("apply_f"), info)
+        assert transformed.name == "apply_f_transformed"
+        assert [name for name, _ in transformed.parameters] == ["vertex", "count"]
+        # Body: k read, priority read, guarded clamp-update-return.
+        assert isinstance(transformed.body[0], ast.VarDecl)
+        assert transformed.body[0].name == "k"
+        guard = transformed.body[2]
+        assert isinstance(guard, ast.If)
+        assert guard.condition.operator == ">"
+        clamp = guard.then_body[0].initializer
+        assert isinstance(clamp, ast.Call) and clamp.function == "max"
+        assert isinstance(guard.then_body[-1], ast.Return)
+
+
+class TestPlanProgram:
+    def test_sssp_plan_lazy(self):
+        plan = plan_program(_program("sssp"), Schedule(priority_update="lazy"))
+        assert plan.schedule.is_lazy
+        assert plan.dependence.needs_atomics
+        assert plan.transformed_udf is None
+
+    def test_kcore_plan_histogram(self):
+        plan = plan_program(
+            _program("kcore"), Schedule(priority_update="lazy_constant_sum")
+        )
+        assert plan.transformed_udf is not None
+
+    def test_histogram_on_min_udf_rejected(self):
+        with pytest.raises(CompileError):
+            plan_program(
+                _program("sssp"), Schedule(priority_update="lazy_constant_sum")
+            )
+
+    def test_eager_on_extern_loop_rejected(self):
+        with pytest.raises(CompileError):
+            plan_program(
+                _program("setcover"), Schedule(priority_update="eager_no_fusion")
+            )
+
+    def test_queue_less_program_plans_as_unordered(self):
+        plan = plan_program(
+            parse("func main()\nend"), Schedule(priority_update="lazy")
+        )
+        assert plan.queue_names == set()
+        assert plan.loop is None
+
+    def test_queue_less_program_ignores_strategy(self):
+        plan = plan_program(
+            parse("func main()\nend"),
+            Schedule(priority_update="eager_no_fusion"),
+        )
+        assert plan.loop is None
+
+    def test_queued_program_with_unrecognized_loop_rejects_eager(self):
+        source = (
+            "element Vertex end\n"
+            "const pq : priority_queue{Vertex}(int);\n"
+            "func main()\n var x : int = 0;\nend"
+        )
+        with pytest.raises(CompileError):
+            plan_program(parse(source), Schedule(priority_update="eager_no_fusion"))
+
+    def test_program_without_main_rejected(self):
+        with pytest.raises(CompileError):
+            plan_program(
+                parse("element Vertex end\nconst pq : priority_queue{Vertex}(int);")
+            )
+
+    def test_inline_schedule_block_used(self):
+        source = (
+            ALL_PROGRAMS["sssp"]
+            + "\nschedule:\n"
+            + 'program->configApplyPriorityUpdate("s1", "lazy")\n'
+            + '  ->configApplyPriorityUpdateDelta("s1", "32");\n'
+        )
+        plan = plan_program(parse(source))
+        assert plan.schedule.priority_update == "lazy"
+        assert plan.schedule.delta == 32
+
+    def test_explicit_schedule_overrides_block(self):
+        source = (
+            ALL_PROGRAMS["sssp"]
+            + "\nschedule:\n"
+            + 'program->configApplyPriorityUpdate("s1", "lazy");\n'
+        )
+        plan = plan_program(
+            parse(source), Schedule(priority_update="eager_no_fusion")
+        )
+        assert plan.schedule.is_eager
+
+    def test_scheduling_program_by_label(self):
+        scheduling = SchedulingProgram().config_apply_priority_update("s1", "lazy")
+        plan = plan_program(_program("sssp"), scheduling)
+        assert plan.schedule.is_lazy
+
+    def test_schedule_from_block_unknown_command(self):
+        source = (
+            "func main()\nend\nschedule:\n"
+            'program->configMagic("s1", "on");\n'
+        )
+        with pytest.raises(SchedulingError):
+            schedule_from_block(parse(source))

@@ -1,0 +1,291 @@
+"""Unit tests for the runtime substrate: stats, atomics, threads, frontiers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graph import from_edges, rmat
+from repro.runtime import (
+    AtomicOps,
+    CostModel,
+    RuntimeStats,
+    VirtualThreadPool,
+    apply_constant_sum,
+    compact_frontier,
+    gather_in_edges,
+    gather_out_edges,
+    gather_segments,
+    histogram_counts,
+    output_buffer_offsets,
+    TOMBSTONE,
+)
+
+
+class TestRuntimeStats:
+    def test_round_lifecycle(self):
+        stats = RuntimeStats(num_threads=2)
+        stats.begin_round()
+        stats.add_thread_work(0, 10)
+        stats.add_thread_work(1, 4)
+        stats.end_round(syncs=1)
+        assert stats.rounds == 1
+        assert stats.max_work_per_round == [10]
+        assert stats.total_work_per_round == [14]
+        assert stats.global_syncs == 1
+
+    def test_fused_rounds_do_not_increase_syncs(self):
+        stats = RuntimeStats(num_threads=1)
+        stats.begin_round()
+        stats.add_thread_work(0, 5)
+        stats.end_round(syncs=1, fused=3)
+        assert stats.rounds == 1
+        assert stats.fused_rounds == 3
+        assert stats.global_syncs == 1
+
+    def test_double_begin_rejected(self):
+        stats = RuntimeStats()
+        stats.begin_round()
+        with pytest.raises(RuntimeError):
+            stats.begin_round()
+
+    def test_work_outside_round_rejected(self):
+        stats = RuntimeStats()
+        with pytest.raises(RuntimeError):
+            stats.add_thread_work(0, 1)
+        with pytest.raises(RuntimeError):
+            stats.end_round()
+
+    def test_simulated_time_components(self):
+        stats = RuntimeStats(num_threads=2)
+        stats.begin_round()
+        stats.add_thread_work(0, 100)
+        stats.end_round(syncs=1)
+        model = CostModel(work_unit=1.0, sync=50.0, bucket_insert=0, buffer_op=0, atomic=0)
+        assert stats.simulated_time(model) == pytest.approx(150.0)
+
+    def test_simulated_time_charges_parallel_ops(self):
+        stats = RuntimeStats(num_threads=4)
+        stats.bucket_inserts = 40
+        model = CostModel(work_unit=1, sync=0, bucket_insert=2, buffer_op=0, atomic=0)
+        # 40 inserts * 2 units / 4 threads
+        assert stats.simulated_time(model) == pytest.approx(20.0)
+
+    def test_fewer_syncs_means_less_simulated_time(self):
+        low, high = RuntimeStats(num_threads=1), RuntimeStats(num_threads=1)
+        for stats, syncs in ((low, 1), (high, 2)):
+            for _ in range(10):
+                stats.begin_round()
+                stats.add_thread_work(0, 5)
+                stats.end_round(syncs=syncs)
+        assert low.simulated_time() < high.simulated_time()
+
+    def test_merge(self):
+        a, b = RuntimeStats(num_threads=1), RuntimeStats(num_threads=1)
+        for stats in (a, b):
+            stats.begin_round()
+            stats.add_thread_work(0, 3)
+            stats.end_round()
+        a.relaxations = 5
+        b.relaxations = 7
+        a.merge(b)
+        assert a.rounds == 2
+        assert a.relaxations == 12
+        assert a.max_work_per_round == [3, 3]
+
+    def test_summary_keys(self):
+        stats = RuntimeStats(num_threads=2)
+        summary = stats.summary()
+        assert summary["threads"] == 2
+        assert "simulated_time" in summary
+        assert "rounds" in summary
+
+
+class TestAtomicOps:
+    def test_write_min(self):
+        stats = RuntimeStats()
+        ops = AtomicOps(stats)
+        array = np.array([10, 20], dtype=np.int64)
+        assert ops.write_min(array, 0, 5)
+        assert not ops.write_min(array, 0, 7)
+        assert array[0] == 5
+        assert stats.atomic_ops == 2
+
+    def test_write_max(self):
+        ops = AtomicOps()
+        array = np.array([10], dtype=np.int64)
+        assert ops.write_max(array, 0, 15)
+        assert not ops.write_max(array, 0, 12)
+        assert array[0] == 15
+
+    def test_cas(self):
+        ops = AtomicOps()
+        array = np.array([3], dtype=np.int64)
+        assert ops.cas(array, 0, 3, 9)
+        assert not ops.cas(array, 0, 3, 11)
+        assert array[0] == 9
+
+    def test_fetch_add(self):
+        ops = AtomicOps()
+        array = np.array([7], dtype=np.int64)
+        assert ops.fetch_add(array, 0, 2) == 7
+        assert array[0] == 9
+
+    def test_write_min_batch_duplicates(self):
+        ops = AtomicOps()
+        array = np.array([100, 100], dtype=np.int64)
+        indices = np.array([0, 0, 1], dtype=np.int64)
+        values = np.array([50, 30, 200], dtype=np.int64)
+        winners = ops.write_min_batch(array, indices, values)
+        assert array.tolist() == [30, 100]
+        # The 30-write wins; the 50-write improved-then-lost; 200 never won.
+        assert winners.tolist() == [False, True, False]
+
+    def test_write_min_batch_empty(self):
+        ops = AtomicOps()
+        array = np.array([1], dtype=np.int64)
+        assert ops.write_min_batch(array, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)).size == 0
+
+    def test_batch_charges_per_element(self):
+        stats = RuntimeStats()
+        ops = AtomicOps(stats)
+        array = np.zeros(4, dtype=np.int64)
+        ops.fetch_add_batch(array, np.array([0, 1, 1]), np.array([1, 1, 1]))
+        assert stats.atomic_ops == 3
+        assert array.tolist() == [1, 2, 0, 0]
+
+
+class TestVirtualThreadPool:
+    def test_static_partition_covers_items(self):
+        pool = VirtualThreadPool(3, policy="static-vertex-parallel")
+        items = np.arange(10)
+        parts = pool.partition(items)
+        assert len(parts) == 3
+        assert np.array_equal(np.sort(np.concatenate(parts)), items)
+
+    def test_dynamic_chunked_round_robin(self):
+        pool = VirtualThreadPool(2, policy="dynamic-vertex-parallel", chunk_size=2)
+        parts = pool.partition(np.arange(8))
+        assert parts[0].tolist() == [0, 1, 4, 5]
+        assert parts[1].tolist() == [2, 3, 6, 7]
+
+    def test_edge_aware_balances_loads(self):
+        pool = VirtualThreadPool(
+            2, policy="edge-aware-dynamic-vertex-parallel", chunk_size=1
+        )
+        items = np.arange(4)
+        degrees = np.array([100, 1, 1, 1])
+        parts = pool.partition(items, degrees=degrees)
+        # The heavy vertex must be alone on its thread.
+        loads = [degrees[part].sum() for part in parts]
+        assert max(loads) == 100
+
+    def test_edge_aware_requires_degrees(self):
+        pool = VirtualThreadPool(2, policy="edge-aware-dynamic-vertex-parallel")
+        with pytest.raises(SchedulingError):
+            pool.partition(np.arange(4))
+
+    def test_empty_items(self):
+        pool = VirtualThreadPool(4)
+        parts = pool.partition(np.empty(0, dtype=np.int64))
+        assert all(part.size == 0 for part in parts)
+
+    def test_deterministic(self):
+        pool = VirtualThreadPool(3, chunk_size=5)
+        items = np.arange(100)
+        a = pool.partition(items)
+        b = pool.partition(items)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_invalid_config(self):
+        with pytest.raises(SchedulingError):
+            VirtualThreadPool(0)
+        with pytest.raises(SchedulingError):
+            VirtualThreadPool(2, policy="work-stealing")
+        with pytest.raises(SchedulingError):
+            VirtualThreadPool(2, chunk_size=0)
+
+
+class TestFrontierHelpers:
+    def test_gather_segments(self):
+        starts = np.array([0, 5, 5, 9])
+        ends = np.array([2, 5, 8, 10])
+        assert gather_segments(starts, ends).tolist() == [0, 1, 5, 6, 7, 9]
+
+    def test_gather_segments_empty(self):
+        assert gather_segments(np.array([3]), np.array([3])).size == 0
+
+    def test_gather_out_edges(self, diamond_graph):
+        sources, dests, weights = gather_out_edges(
+            diamond_graph, np.array([0, 3], dtype=np.int64)
+        )
+        assert sources.tolist() == [0, 0, 3]
+        assert dests.tolist() == [1, 2, 4]
+        assert weights.tolist() == [2, 7, 1]
+
+    def test_gather_out_edges_zero_degree(self, diamond_graph):
+        sources, dests, _ = gather_out_edges(
+            diamond_graph, np.array([4], dtype=np.int64)
+        )
+        assert sources.size == 0
+        assert dests.size == 0
+
+    def test_gather_out_edges_mixed_degrees(self, diamond_graph):
+        sources, dests, _ = gather_out_edges(
+            diamond_graph, np.array([4, 0, 4, 2], dtype=np.int64)
+        )
+        assert sources.tolist() == [0, 0, 2]
+        assert dests.tolist() == [1, 2, 3]
+
+    def test_gather_in_edges(self, diamond_graph):
+        sources, dests, weights = gather_in_edges(
+            diamond_graph, np.array([3], dtype=np.int64)
+        )
+        assert sorted(sources.tolist()) == [1, 2]
+        assert dests.tolist() == [3, 3]
+        assert sorted(weights.tolist()) == [1, 10]
+
+    def test_gather_matches_scalar_iteration(self):
+        graph = rmat(8, 8, seed=7)
+        frontier = np.array([0, 3, 17, 200], dtype=np.int64)
+        sources, dests, weights = gather_out_edges(graph, frontier)
+        expected = [
+            (int(v), int(u), int(w))
+            for v in frontier
+            for u, w in graph.out_edges(int(v))
+        ]
+        assert list(zip(sources.tolist(), dests.tolist(), weights.tolist())) == expected
+
+    def test_output_buffer_offsets(self, diamond_graph):
+        offsets = output_buffer_offsets(diamond_graph, np.array([0, 1, 4]))
+        assert offsets.tolist() == [0, 2, 4, 4]
+
+    def test_compact_frontier(self):
+        buffer = np.array([3, TOMBSTONE, 5, TOMBSTONE], dtype=np.int64)
+        assert compact_frontier(buffer).tolist() == [3, 5]
+
+
+class TestHistogram:
+    def test_histogram_counts(self):
+        stats = RuntimeStats()
+        vertices, counts = histogram_counts(np.array([3, 1, 3, 3, 1]), stats)
+        assert vertices.tolist() == [1, 3]
+        assert counts.tolist() == [2, 3]
+        assert stats.histogram_updates == 5
+
+    def test_histogram_empty(self):
+        vertices, counts = histogram_counts(np.empty(0, dtype=np.int64))
+        assert vertices.size == 0
+        assert counts.size == 0
+
+    def test_apply_constant_sum_with_floor(self):
+        priorities = np.array([10, 10, 10], dtype=np.int64)
+        new_values = apply_constant_sum(
+            priorities, np.array([0, 1]), np.array([3, 20]), -1, floor_value=5
+        )
+        assert new_values.tolist() == [7, 5]
+        assert priorities.tolist() == [7, 5, 10]
+
+    def test_apply_constant_sum_positive_ceiling(self):
+        priorities = np.array([1], dtype=np.int64)
+        apply_constant_sum(priorities, np.array([0]), np.array([10]), 2, floor_value=15)
+        assert priorities[0] == 15

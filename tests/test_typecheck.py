@@ -1,0 +1,191 @@
+"""Unit tests for the DSL type checker."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.lang import ALL_PROGRAMS, parse, typecheck
+from repro.lang.types import INT, EdgeSetType, PriorityQueueType
+
+PRELUDE = """\
+element Vertex end
+element Edge end
+const edges : edgeset{Edge}(Vertex, Vertex, int) = load(argv[1]);
+const dist : vector{Vertex}(int) = INT_MAX;
+const pq : priority_queue{Vertex}(int);
+"""
+
+
+def check(source: str):
+    return typecheck(parse(source))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+def test_all_paper_programs_typecheck(name):
+    table = check(ALL_PROGRAMS[name])
+    assert "main" in table.functions
+
+
+def test_symbol_table_contents():
+    table = check(ALL_PROGRAMS["sssp"])
+    assert isinstance(table.globals.lookup("edges"), EdgeSetType)
+    assert isinstance(table.globals.lookup("pq"), PriorityQueueType)
+    assert table.function_locals["updateEdge"]["new_dist"] == INT
+
+
+def test_unknown_element_rejected():
+    with pytest.raises(TypeCheckError):
+        check("const v : vector{Vertex}(int) = 0;")
+
+
+def test_element_redeclaration_rejected():
+    with pytest.raises(TypeCheckError):
+        check("element Vertex end\nelement Vertex end")
+
+
+def test_undeclared_name_rejected():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n var x : int = y + 1;\nend")
+
+
+def test_variable_redeclaration_in_scope_rejected():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n var x : int = 1;\n var x : int = 2;\nend")
+
+
+def test_assign_type_mismatch_rejected():
+    with pytest.raises(TypeCheckError):
+        check('func main()\n var x : int = "hello";\nend')
+
+
+def test_while_condition_must_be_bool():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n while 3\n end\nend")
+
+
+def test_arithmetic_needs_numbers():
+    with pytest.raises(TypeCheckError):
+        check('func main()\n var x : int = 1 + "a";\nend')
+
+
+def test_comparison_type_mismatch():
+    with pytest.raises(TypeCheckError):
+        check('func main()\n var b : bool = 1 == "a";\nend')
+
+
+def test_vector_indexed_by_vertex_or_int():
+    check(
+        PRELUDE
+        + "func f(src : Vertex, dst : Vertex, weight : int)\n"
+        + " var d : int = dist[src];\nend\nfunc main()\nend"
+    )
+    with pytest.raises(TypeCheckError):
+        check(
+            PRELUDE
+            + 'func main()\n var d : int = dist["zero"];\nend'
+        )
+
+
+def test_scalar_not_indexable():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n var x : int = 3;\n var y : int = x[0];\nend")
+
+
+def test_pq_method_arity_checked():
+    with pytest.raises(TypeCheckError):
+        check(PRELUDE + "func main()\n pq.updatePriorityMin(0);\nend")
+
+
+def test_pq_unknown_method_rejected():
+    with pytest.raises(TypeCheckError):
+        check(PRELUDE + "func main()\n pq.popMin();\nend")
+
+
+def test_dequeue_returns_vertexset():
+    check(
+        PRELUDE
+        + "func main()\n var b : vertexset{Vertex} = pq.dequeueReadySet();\nend"
+    )
+    with pytest.raises(TypeCheckError):
+        check(PRELUDE + "func main()\n var b : int = pq.dequeueReadySet();\nend")
+
+
+def test_apply_references_unknown_function():
+    with pytest.raises(TypeCheckError):
+        check(
+            PRELUDE
+            + "func main()\n"
+            + " var b : vertexset{Vertex} = pq.dequeueReadySet();\n"
+            + " edges.from(b).applyUpdatePriority(nosuch);\nend"
+        )
+
+
+def test_apply_udf_arity_checked():
+    with pytest.raises(TypeCheckError):
+        check(
+            PRELUDE
+            + "func f(x : int)\nend\n"
+            + "func main()\n"
+            + " var b : vertexset{Vertex} = pq.dequeueReadySet();\n"
+            + " edges.from(b).applyUpdatePriority(f);\nend"
+        )
+
+
+def test_from_requires_vertexset():
+    with pytest.raises(TypeCheckError):
+        check(
+            PRELUDE
+            + "func f(s : Vertex, d : Vertex, w : int)\nend\n"
+            + "func main()\n edges.from(3).applyUpdatePriority(f);\nend"
+        )
+
+
+def test_load_requires_string():
+    with pytest.raises(TypeCheckError):
+        check(
+            "element Vertex end\nelement Edge end\n"
+            "const edges : edgeset{Edge}(Vertex, Vertex, int) = load(3);"
+        )
+
+
+def test_atoi_result_is_int():
+    check("func main()\n var x : int = atoi(argv[2]);\nend")
+    with pytest.raises(TypeCheckError):
+        check("func main()\n var x : bool = atoi(argv[2]);\nend")
+
+
+def test_call_to_unknown_function():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n frobnicate();\nend")
+
+
+def test_extern_calls_unchecked():
+    check("extern func helper;\nfunc main()\n helper(1, 2, 3);\nend")
+
+
+def test_user_function_call_arity():
+    with pytest.raises(TypeCheckError):
+        check("func f(x : int)\nend\nfunc main()\n f(1, 2);\nend")
+
+
+def test_function_redeclaration_rejected():
+    with pytest.raises(TypeCheckError):
+        check("func f()\nend\nfunc f()\nend")
+
+
+def test_delete_undeclared_rejected():
+    with pytest.raises(TypeCheckError):
+        check("func main()\n delete ghost;\nend")
+
+
+def test_get_out_degrees_type():
+    check(
+        "element Vertex end\nelement Edge end\n"
+        "const edges : edgeset{Edge}(Vertex, Vertex);\n"
+        "const D : vector{Vertex}(int) = edges.getOutDegrees();"
+    )
+
+
+def test_int_assignable_to_float():
+    check("func main()\n var x : float = 3;\nend")
+    with pytest.raises(TypeCheckError):
+        check("func main()\n var x : int = 3.5;\nend")

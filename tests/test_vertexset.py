@@ -1,0 +1,92 @@
+"""Unit tests for VertexSet (sparse/dense frontier layouts)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import VertexSet
+
+
+def test_sparse_construction_sorts_and_dedups():
+    vertex_set = VertexSet(10, vertices=[5, 1, 5, 3])
+    assert vertex_set.to_sparse().tolist() == [1, 3, 5]
+    assert len(vertex_set) == 3
+
+
+def test_dense_construction():
+    bool_map = np.zeros(6, dtype=bool)
+    bool_map[[0, 4]] = True
+    vertex_set = VertexSet(6, bool_map=bool_map)
+    assert vertex_set.to_sparse().tolist() == [0, 4]
+
+
+def test_layout_conversion_roundtrip():
+    vertex_set = VertexSet(8, vertices=[2, 6])
+    dense = vertex_set.to_dense()
+    assert dense.tolist() == [False, False, True, False, False, False, True, False]
+    back = VertexSet(8, bool_map=dense)
+    assert back == vertex_set
+
+
+def test_dense_copy_is_defensive():
+    bool_map = np.zeros(4, dtype=bool)
+    vertex_set = VertexSet(4, bool_map=bool_map)
+    bool_map[0] = True
+    assert len(vertex_set) == 0
+
+
+def test_constructors():
+    assert len(VertexSet.empty(5)) == 0
+    assert len(VertexSet.full(5)) == 5
+    assert VertexSet.single(5, 3).to_sparse().tolist() == [3]
+
+
+def test_membership():
+    vertex_set = VertexSet(10, vertices=[1, 2])
+    assert 1 in vertex_set
+    assert 3 not in vertex_set
+    assert 99 not in vertex_set
+
+
+def test_iteration():
+    assert list(VertexSet(5, vertices=[4, 0])) == [0, 4]
+
+
+def test_equality_and_hash():
+    a = VertexSet(5, vertices=[1, 2])
+    b = VertexSet(5, bool_map=np.array([False, True, True, False, False]))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != VertexSet(5, vertices=[1])
+    assert a != VertexSet(6, vertices=[1, 2])
+
+
+def test_set_algebra():
+    a = VertexSet(8, vertices=[1, 2, 3])
+    b = VertexSet(8, vertices=[3, 4])
+    assert a.union(b).to_sparse().tolist() == [1, 2, 3, 4]
+    assert a.intersection(b).to_sparse().tolist() == [3]
+    assert a.difference(b).to_sparse().tolist() == [1, 2]
+
+
+def test_algebra_rejects_mismatched_universe():
+    with pytest.raises(GraphError):
+        VertexSet(5, vertices=[1]).union(VertexSet(6, vertices=[1]))
+
+
+def test_invalid_inputs():
+    with pytest.raises(GraphError):
+        VertexSet(5)
+    with pytest.raises(GraphError):
+        VertexSet(5, vertices=[1], bool_map=np.zeros(5, dtype=bool))
+    with pytest.raises(GraphError):
+        VertexSet(5, vertices=[9])
+    with pytest.raises(GraphError):
+        VertexSet(5, bool_map=np.zeros(4, dtype=bool))
+
+
+def test_is_sparse_tracks_materialization():
+    vertex_set = VertexSet(4, bool_map=np.zeros(4, dtype=bool))
+    assert not vertex_set.is_sparse
+    vertex_set.to_sparse()
+    assert vertex_set.is_sparse
