@@ -541,9 +541,14 @@ class _CppEmitter:
             self.out.line("}")
             return
         if isinstance(statement, ast.Assign):
-            # Direct vector writes race in push mode; route min-pattern
-            # writes through atomics when the dependence analysis asked for
-            # them.  Generic assigns are emitted verbatim (pull / local).
+            # Plain assigns are emitted verbatim: the race analysis has
+            # classified each one (thread-owned, idempotent constant, or
+            # guarded monotonic test-and-set are all benign without
+            # atomics).  Sites it could NOT prove safe are flagged in the
+            # generated code; `repro lint` reports them as R001 errors.
+            site = self._race_site(statement)
+            if site is not None and site.race_class.value == "unordered_racy":
+                self.out.line("// R001: unordered racy write (repro lint)")
             self.out.line(
                 f"{self._expr(statement.target)} = "
                 f"{self._expr(statement.value)};"
@@ -561,11 +566,26 @@ class _CppEmitter:
             return expression
         return None
 
+    def _race_site(self, node: ast.Node):
+        """The race-analysis classification for an AST node, if any."""
+        races = getattr(self.plan, "races", None)
+        if races is None:
+            return None
+        return races.site_for(node)
+
     def _emit_priority_update(self, call: ast.MethodCall, mode: str) -> None:
         out = self.out
         arguments = call.arguments
         vertex = self._expr(arguments[0])
-        atomic = mode != "lazy_pull"
+        # The race analysis decides atomicity per site (no unconditional
+        # atomics): CAS/fetch-add only where the write crosses threads under
+        # the active schedule.  Without a classification (plans built before
+        # the analysis ran) fall back to the old direction heuristic.
+        site = self._race_site(call)
+        if site is not None:
+            atomic = site.race_class.is_atomic
+        else:
+            atomic = mode != "lazy_pull"
         if call.method in ("updatePriorityMin", "updatePriorityMax"):
             new_value = self._expr(arguments[-1])
             out.line(f"int64_t __new_value = {new_value};")
@@ -575,9 +595,15 @@ class _CppEmitter:
                     if call.method == "updatePriorityMin"
                     else "atomicWriteMax"
                 )
+                seed = ""
+                if site is not None and site.cas_seed is not None:
+                    # Seed the CAS loop from the old value the UDF already
+                    # read (the preserved 3-argument form) instead of an
+                    # extra atomic load.
+                    seed = f", {self._expr(site.cas_seed)}"
                 out.line(
                     f"bool __tracking_var = {op}(&{self._pv_name}[{vertex}], "
-                    f"__new_value);"
+                    f"__new_value{seed});"
                 )
             else:
                 comparison = "<" if call.method == "updatePriorityMin" else ">"
@@ -593,8 +619,9 @@ class _CppEmitter:
             threshold = (
                 self._expr(arguments[2]) if len(arguments) > 2 else "kIntMax"
             )
+            add = "atomicAddClamped" if atomic else "addClamped"
             out.line(
-                f"int64_t __new_value = atomicAddClamped("
+                f"int64_t __new_value = {add}("
                 f"&{self._pv_name}[{vertex}], {diff}, {threshold});"
             )
             out.line("bool __tracking_var = (__new_value != kIntMax);")

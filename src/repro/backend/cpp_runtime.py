@@ -153,6 +153,29 @@ inline bool atomicWriteMax(int64_t *addr, int64_t value) {
   return false;
 }
 
+// Seeded overloads: the race analysis preserves the UDF's own read of the
+// old priority (the 3-argument updatePriorityMin form), so the first CAS
+// attempt starts from that value instead of issuing an extra atomic load.
+inline bool atomicWriteMin(int64_t *addr, int64_t value, int64_t seed) {
+  int64_t old = seed;
+  while (value < old) {
+    if (__atomic_compare_exchange_n(addr, &old, value, false,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return true;
+  }
+  return false;
+}
+
+inline bool atomicWriteMax(int64_t *addr, int64_t value, int64_t seed) {
+  int64_t old = seed;
+  while (value > old) {
+    if (__atomic_compare_exchange_n(addr, &old, value, false,
+                                    __ATOMIC_RELAXED, __ATOMIC_RELAXED))
+      return true;
+  }
+  return false;
+}
+
 // Clamped fetch-add: priority += diff, not past `clamp`; returns the new
 // value, or kIntMax when nothing changed.
 inline int64_t atomicAddClamped(int64_t *addr, int64_t diff, int64_t clamp) {
@@ -170,6 +193,20 @@ inline int64_t atomicAddClamped(int64_t *addr, int64_t diff, int64_t clamp) {
                                     __ATOMIC_RELAXED, __ATOMIC_RELAXED))
       return desired;
   }
+}
+
+// Serial clamped add for sites the race analysis proved thread-owned: same
+// semantics as atomicAddClamped without the compare-exchange loop.
+inline int64_t addClamped(int64_t *addr, int64_t diff, int64_t clamp) {
+  int64_t old = *addr;
+  if (diff < 0 && old <= clamp) return kIntMax;
+  if (diff > 0 && old >= clamp) return kIntMax;
+  int64_t desired = old + diff;
+  if (diff < 0) desired = std::max(desired, clamp);
+  else desired = std::min(desired, clamp);
+  if (desired == old) return kIntMax;
+  *addr = desired;
+  return desired;
 }
 
 inline bool CASByte(uint8_t *addr, uint8_t expected, uint8_t desired) {

@@ -9,6 +9,9 @@ Mirrors the GraphIt compiler's command-line workflow:
 - ``generate`` — produce a synthetic graph file (R-MAT or road grid) in the
   edge-list format both backends load.
 - ``autotune`` — search for a schedule for an algorithm/graph pair.
+- ``lint`` — run the midend diagnostics engine (race/atomicity analysis,
+  IR validator, schedule–program compatibility) over one or more programs
+  and print structured ``file:line:col: severity[CODE]: message`` findings.
 
 Examples::
 
@@ -16,6 +19,7 @@ Examples::
     python -m repro compile sssp --priority-update lazy --delta 4 --backend cpp -o sssp.cpp
     python -m repro run sssp social.el 0 --priority-update eager_with_fusion --delta 32
     python -m repro autotune sssp social.el --trials 30
+    python -m repro lint sssp kcore examples/my_prog.gt --werror
 """
 
 from __future__ import annotations
@@ -168,6 +172,51 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .midend.analysis.diagnostics import (
+        Severity,
+        lint_program,
+        render_diagnostic,
+    )
+
+    schedule: Schedule | None = None
+    if args.priority_update is not None:
+        schedule = Schedule(
+            priority_update=args.priority_update,
+            delta=args.delta,
+            direction=args.direction,
+        )
+
+    total_errors = 0
+    total_warnings = 0
+    for name in args.programs:
+        source = _load_source(name)
+        diagnostics = lint_program(
+            source,
+            schedule=schedule,
+            filename=name,
+            include_info=args.info,
+        )
+        for diagnostic in diagnostics:
+            print(render_diagnostic(diagnostic))
+        total_errors += sum(
+            1 for d in diagnostics if d.severity is Severity.ERROR
+        )
+        total_warnings += sum(
+            1 for d in diagnostics if d.severity is Severity.WARNING
+        )
+
+    checked = len(args.programs)
+    print(
+        f"checked {checked} program{'s' if checked != 1 else ''}: "
+        f"{total_errors} error(s), {total_warnings} warning(s)"
+        + (" [-Werror]" if args.werror and total_warnings else "")
+    )
+    if total_errors or (args.werror and total_warnings):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +272,44 @@ def build_parser() -> argparse.ArgumentParser:
     autotune_parser.add_argument("--threads", type=int, default=8)
     autotune_parser.add_argument("--seed", type=int, default=0)
     autotune_parser.set_defaults(handler=_cmd_autotune)
+
+    lint_parser = commands.add_parser(
+        "lint",
+        help="run the midend diagnostics engine over one or more programs",
+    )
+    lint_parser.add_argument(
+        "programs",
+        nargs="+",
+        help=f".gt files and/or built-ins: {', '.join(sorted(ALL_PROGRAMS))}",
+    )
+    lint_parser.add_argument(
+        "--werror",
+        action="store_true",
+        help="treat warnings as errors (nonzero exit on any warning)",
+    )
+    lint_parser.add_argument(
+        "--info",
+        action="store_true",
+        help="also print informational race-classification notes (R002/R003)",
+    )
+    lint_group = lint_parser.add_argument_group(
+        "schedule to lint under (default: the program's own / a feasible one)"
+    )
+    lint_group.add_argument(
+        "--priority-update",
+        default=None,
+        choices=(
+            "eager_with_fusion",
+            "eager_no_fusion",
+            "lazy",
+            "lazy_constant_sum",
+        ),
+    )
+    lint_group.add_argument("--delta", type=int, default=1)
+    lint_group.add_argument(
+        "--direction", default="SparsePush", choices=("SparsePush", "DensePull")
+    )
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -7,9 +7,25 @@ being able to distinguish frontend, scheduling, and runtime failures.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .lang.span import Span
+
 
 class GraphItError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    Every error may carry a :class:`~repro.lang.span.Span` pointing at the
+    offending source location; when present the message is prefixed with the
+    clickable ``file:line:col`` rendering compilers use.
+    """
+
+    def __init__(self, message: str, *, span: "Span | None" = None):
+        if span is not None and span.is_known:
+            message = f"{span}: {message}"
+        super().__init__(message)
+        self.span = span
 
 
 class GraphError(GraphItError):
@@ -23,13 +39,25 @@ class ParseError(GraphItError):
     when available, so error messages can point at the source location.
     """
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+        *,
+        span: "Span | None" = None,
+    ):
+        if span is None and line is not None:
+            from .lang.span import Span
+
+            span = Span(line=line, column=column or 0)
         location = ""
         if line is not None:
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
         super().__init__(message + location)
+        self.span = span
         self.line = line
         self.column = column
 
@@ -44,6 +72,15 @@ class SchedulingError(GraphItError):
 
 class CompileError(GraphItError):
     """Raised when the midend or a backend cannot lower a program."""
+
+
+class IRValidationError(CompileError):
+    """Raised by the midend IR validator when a pass leaves the IR broken.
+
+    These errors indicate either malformed input the frontend failed to
+    reject or a compiler bug (a transform corrupted the IR); both carry the
+    span of the offending node so they are located rather than silent.
+    """
 
 
 class PriorityQueueError(GraphItError):

@@ -4,6 +4,7 @@ from . import ast_nodes
 from .lexer import tokenize
 from .parser import parse
 from .programs import ALL_PROGRAMS, program_source
+from .span import Span
 from .symbols import Scope, SymbolTable
 from .typecheck import typecheck
 from .types import (
@@ -25,6 +26,7 @@ from .types import (
 __all__ = [
     "tokenize",
     "parse",
+    "Span",
     "typecheck",
     "ast_nodes",
     "Scope",

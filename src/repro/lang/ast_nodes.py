@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Any
 
+from .span import Span
 from .types import Type
 
 __all__ = [
@@ -55,9 +56,15 @@ __all__ = [
 
 @dataclass
 class Node:
-    """Base AST node; every node records its source line."""
+    """Base AST node; every node records its source line and column."""
 
     line: int = field(default=0, kw_only=True)
+    column: int = field(default=0, kw_only=True)
+
+    @property
+    def span(self) -> Span:
+        """The (point) source span where this node begins."""
+        return Span.from_node(self)
 
 
 @dataclass
@@ -236,6 +243,7 @@ class Program(Node):
     functions: list[FuncDecl]
     externs: list[ExternFuncDecl]
     schedule: list[ScheduleStmt]
+    source_file: str | None = field(default=None, kw_only=True)
 
     def function(self, name: str) -> FuncDecl | None:
         for func in self.functions:

@@ -42,8 +42,12 @@ _ONE_CHAR = {
 }
 
 
-def tokenize(source: str) -> list[Token]:
-    """Convert DSL source text to a token list ending with an EOF token."""
+def tokenize(source: str, filename: str | None = None) -> list[Token]:
+    """Convert DSL source text to a token list ending with an EOF token.
+
+    ``filename`` only affects error reporting: lexical errors carry a
+    :class:`~repro.lang.span.Span` attributed to it.
+    """
     tokens: list[Token] = []
     line = 1
     column = 1
@@ -51,7 +55,11 @@ def tokenize(source: str) -> list[Token]:
     length = len(source)
 
     def error(message: str) -> ParseError:
-        return ParseError(message, line, column)
+        from .span import Span
+
+        return ParseError(
+            message, line, column, span=Span(line=line, column=column, file=filename)
+        )
 
     while index < length:
         char = source[index]

@@ -44,14 +44,22 @@ _ADDITIVE = {TokenKind.PLUS: "+", TokenKind.MINUS: "-"}
 _MULTIPLICATIVE = {TokenKind.STAR: "*", TokenKind.SLASH: "/", TokenKind.PERCENT: "%"}
 
 
-def parse(source: str) -> ast.Program:
-    """Parse DSL source text into a :class:`~repro.lang.ast_nodes.Program`."""
-    return Parser(tokenize(source)).parse_program()
+def parse(source: str, filename: str | None = None) -> ast.Program:
+    """Parse DSL source text into a :class:`~repro.lang.ast_nodes.Program`.
+
+    ``filename`` (when given) is recorded on the returned program and
+    attached to every :class:`~repro.lang.span.Span` in parse errors, so
+    diagnostics render as clickable ``file:line:col`` locations.
+    """
+    program = Parser(tokenize(source, filename), filename).parse_program()
+    program.source_file = filename
+    return program
 
 
 class Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], filename: str | None = None):
         self._tokens = tokens
+        self._filename = filename
         self._position = 0
 
     # ------------------------------------------------------------------
@@ -87,7 +95,12 @@ class Parser:
         return self._advance()
 
     def _error(self, message: str) -> ParseError:
-        return ParseError(message, self._current.line, self._current.column)
+        return ParseError(
+            message,
+            self._current.line,
+            self._current.column,
+            span=self._current.span.with_file(self._filename),
+        )
 
     # ------------------------------------------------------------------
     # Program structure
@@ -127,7 +140,7 @@ class Parser:
         token = self._expect(TokenKind.ELEMENT, "to open an element declaration")
         name = self._expect(TokenKind.IDENT, "after 'element'").text
         self._expect(TokenKind.END, "to close the element declaration")
-        return ast.ElementDecl(name, line=token.line)
+        return ast.ElementDecl(name, line=token.line, column=token.column)
 
     def _parse_const(self) -> ast.ConstDecl:
         token = self._expect(TokenKind.CONST, "to open a const declaration")
@@ -138,14 +151,14 @@ class Parser:
         if self._match(TokenKind.ASSIGN):
             initializer = self._parse_expression()
         self._expect(TokenKind.SEMICOLON, "to end the const declaration")
-        return ast.ConstDecl(name, declared_type, initializer, line=token.line)
+        return ast.ConstDecl(name, declared_type, initializer, line=token.line, column=token.column)
 
     def _parse_extern(self) -> ast.ExternFuncDecl:
         token = self._expect(TokenKind.EXTERN, "to open an extern declaration")
         self._expect(TokenKind.FUNC, "after 'extern'")
         name = self._expect(TokenKind.IDENT, "after 'extern func'").text
         self._expect(TokenKind.SEMICOLON, "to end the extern declaration")
-        return ast.ExternFuncDecl(name, line=token.line)
+        return ast.ExternFuncDecl(name, line=token.line, column=token.column)
 
     def _parse_func(self) -> ast.FuncDecl:
         token = self._expect(TokenKind.FUNC, "to open a function")
@@ -168,7 +181,7 @@ class Parser:
             self._expect(TokenKind.RPAREN, "to close the result declaration")
         body = self._parse_statements_until(TokenKind.END)
         self._expect(TokenKind.END, "to close the function")
-        return ast.FuncDecl(name, parameters, result, body, line=token.line)
+        return ast.FuncDecl(name, parameters, result, body, line=token.line, column=token.column)
 
     # ------------------------------------------------------------------
     # Types
@@ -248,7 +261,7 @@ class Parser:
             condition = self._parse_expression()
             body = self._parse_statements_until(TokenKind.END)
             self._expect(TokenKind.END, "to close the while loop")
-            return ast.While(condition, body, line=token.line)
+            return ast.While(condition, body, line=token.line, column=token.column)
         if self._check(TokenKind.IF):
             return self._parse_if()
         if self._check(TokenKind.FOR):
@@ -260,24 +273,24 @@ class Parser:
             stop = self._parse_expression()
             body = self._parse_statements_until(TokenKind.END)
             self._expect(TokenKind.END, "to close the for loop")
-            return ast.For(variable, start, stop, body, line=token.line)
+            return ast.For(variable, start, stop, body, line=token.line, column=token.column)
         if self._check(TokenKind.PRINT):
             self._advance()
             expression = self._parse_expression()
             self._expect(TokenKind.SEMICOLON, "to end the print statement")
-            return ast.Print(expression, line=token.line)
+            return ast.Print(expression, line=token.line, column=token.column)
         if self._check(TokenKind.DELETE):
             self._advance()
             name = self._expect(TokenKind.IDENT, "after 'delete'").text
             self._expect(TokenKind.SEMICOLON, "to end the delete statement")
-            return ast.Delete(name, line=token.line)
+            return ast.Delete(name, line=token.line, column=token.column)
         if self._check(TokenKind.RETURN):
             self._advance()
             value = None
             if not self._check(TokenKind.SEMICOLON):
                 value = self._parse_expression()
             self._expect(TokenKind.SEMICOLON, "to end the return statement")
-            return ast.Return(value, line=token.line)
+            return ast.Return(value, line=token.line, column=token.column)
 
         expression = self._parse_expression()
         if self._match(TokenKind.ASSIGN):
@@ -285,9 +298,9 @@ class Parser:
                 raise self._error("assignment target must be a name or an index")
             value = self._parse_expression()
             self._expect(TokenKind.SEMICOLON, "to end the assignment")
-            return ast.Assign(expression, value, line=token.line)
+            return ast.Assign(expression, value, line=token.line, column=token.column)
         self._expect(TokenKind.SEMICOLON, "to end the expression statement")
-        return ast.ExprStmt(expression, line=token.line)
+        return ast.ExprStmt(expression, line=token.line, column=token.column)
 
     def _parse_var_decl(self) -> ast.VarDecl:
         token = self._expect(TokenKind.VAR, "to open a var declaration")
@@ -298,7 +311,7 @@ class Parser:
         if self._match(TokenKind.ASSIGN):
             initializer = self._parse_expression()
         self._expect(TokenKind.SEMICOLON, "to end the var declaration")
-        return ast.VarDecl(name, declared_type, initializer, line=token.line)
+        return ast.VarDecl(name, declared_type, initializer, line=token.line, column=token.column)
 
     def _parse_if(self) -> ast.If:
         token = self._advance()  # 'if' or 'elif'
@@ -307,11 +320,11 @@ class Parser:
         else_body: list[ast.Stmt] = []
         if self._check(TokenKind.ELIF):
             else_body = [self._parse_if()]
-            return ast.If(condition, then_body, else_body, line=token.line)
+            return ast.If(condition, then_body, else_body, line=token.line, column=token.column)
         if self._match(TokenKind.ELSE):
             else_body = self._parse_statements_until(TokenKind.END)
         self._expect(TokenKind.END, "to close the if statement")
-        return ast.If(condition, then_body, else_body, line=token.line)
+        return ast.If(condition, then_body, else_body, line=token.line, column=token.column)
 
     # ------------------------------------------------------------------
     # Expressions (precedence climbing)
@@ -324,7 +337,7 @@ class Parser:
         while self._check(TokenKind.OR):
             token = self._advance()
             right = self._parse_and()
-            left = ast.BinaryOp("or", left, right, line=token.line)
+            left = ast.BinaryOp("or", left, right, line=token.line, column=token.column)
         return left
 
     def _parse_and(self) -> ast.Expr:
@@ -332,13 +345,13 @@ class Parser:
         while self._check(TokenKind.AND):
             token = self._advance()
             right = self._parse_not()
-            left = ast.BinaryOp("and", left, right, line=token.line)
+            left = ast.BinaryOp("and", left, right, line=token.line, column=token.column)
         return left
 
     def _parse_not(self) -> ast.Expr:
         if self._check(TokenKind.NOT):
             token = self._advance()
-            return ast.UnaryOp("not", self._parse_not(), line=token.line)
+            return ast.UnaryOp("not", self._parse_not(), line=token.line, column=token.column)
         return self._parse_comparison()
 
     def _parse_comparison(self) -> ast.Expr:
@@ -347,7 +360,7 @@ class Parser:
             operator = _COMPARISONS[self._current.kind]
             token = self._advance()
             right = self._parse_additive()
-            left = ast.BinaryOp(operator, left, right, line=token.line)
+            left = ast.BinaryOp(operator, left, right, line=token.line, column=token.column)
         return left
 
     def _parse_additive(self) -> ast.Expr:
@@ -356,7 +369,7 @@ class Parser:
             operator = _ADDITIVE[self._current.kind]
             token = self._advance()
             right = self._parse_multiplicative()
-            left = ast.BinaryOp(operator, left, right, line=token.line)
+            left = ast.BinaryOp(operator, left, right, line=token.line, column=token.column)
         return left
 
     def _parse_multiplicative(self) -> ast.Expr:
@@ -365,13 +378,13 @@ class Parser:
             operator = _MULTIPLICATIVE[self._current.kind]
             token = self._advance()
             right = self._parse_unary()
-            left = ast.BinaryOp(operator, left, right, line=token.line)
+            left = ast.BinaryOp(operator, left, right, line=token.line, column=token.column)
         return left
 
     def _parse_unary(self) -> ast.Expr:
         if self._check(TokenKind.MINUS):
             token = self._advance()
-            return ast.UnaryOp("-", self._parse_unary(), line=token.line)
+            return ast.UnaryOp("-", self._parse_unary(), line=token.line, column=token.column)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> ast.Expr:
@@ -383,40 +396,49 @@ class Parser:
                 self._expect(TokenKind.LPAREN, "to open the method arguments")
                 arguments = self._parse_arguments()
                 expression = ast.MethodCall(
-                    expression, method, arguments, line=expression.line
+                    expression,
+                    method,
+                    arguments,
+                    line=expression.line,
+                    column=expression.column,
                 )
             elif self._check(TokenKind.LBRACKET):
                 self._advance()
                 index = self._parse_expression()
                 self._expect(TokenKind.RBRACKET, "to close the index")
-                expression = ast.Index(expression, index, line=expression.line)
+                expression = ast.Index(
+                    expression,
+                    index,
+                    line=expression.line,
+                    column=expression.column,
+                )
             else:
                 return expression
 
     def _parse_primary(self) -> ast.Expr:
         token = self._current
         if self._match(TokenKind.INT):
-            return ast.IntLiteral(int(token.text), line=token.line)
+            return ast.IntLiteral(int(token.text), line=token.line, column=token.column)
         if self._match(TokenKind.FLOAT):
-            return ast.FloatLiteral(float(token.text), line=token.line)
+            return ast.FloatLiteral(float(token.text), line=token.line, column=token.column)
         if self._match(TokenKind.STRING):
-            return ast.StringLiteral(token.text, line=token.line)
+            return ast.StringLiteral(token.text, line=token.line, column=token.column)
         if self._match(TokenKind.TRUE):
-            return ast.BoolLiteral(True, line=token.line)
+            return ast.BoolLiteral(True, line=token.line, column=token.column)
         if self._match(TokenKind.FALSE):
-            return ast.BoolLiteral(False, line=token.line)
+            return ast.BoolLiteral(False, line=token.line, column=token.column)
         if self._match(TokenKind.NEW):
             new_type = self._parse_type()
             self._expect(TokenKind.LPAREN, "to open the constructor arguments")
             arguments = self._parse_arguments()
-            return ast.New(new_type, arguments, line=token.line)
+            return ast.New(new_type, arguments, line=token.line, column=token.column)
         if self._check(TokenKind.IDENT):
             self._advance()
             if self._check(TokenKind.LPAREN):
                 self._advance()
                 arguments = self._parse_arguments()
-                return ast.Call(token.text, arguments, line=token.line)
-            return ast.Name(token.text, line=token.line)
+                return ast.Call(token.text, arguments, line=token.line, column=token.column)
+            return ast.Name(token.text, line=token.line, column=token.column)
         if self._match(TokenKind.LPAREN):
             expression = self._parse_expression()
             self._expect(TokenKind.RPAREN, "to close the parenthesized expression")
@@ -463,7 +485,7 @@ class Parser:
                 self._expect(TokenKind.RPAREN, "to close the scheduling arguments")
                 statements.append(
                     ast.ScheduleStmt(
-                        command_token.text, arguments, line=command_token.line
+                        command_token.text, arguments, line=command_token.line, column=command_token.column
                     )
                 )
             self._match(TokenKind.SEMICOLON)

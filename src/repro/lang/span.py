@@ -1,0 +1,112 @@
+"""Source spans for diagnostics.
+
+A :class:`Span` is a half-open region of DSL source text identified by
+1-based line/column coordinates plus an optional file name.  Spans render in
+the classic compiler ``file:line:col`` shape so terminal emulators make them
+clickable, and they merge (for multi-token constructs) and compare cheaply.
+
+Every token already knows its line/column; AST nodes carry the line/column
+of their introducing token.  ``Span.from_node`` / ``Span.from_token`` are
+the two conversion points the diagnostics engine uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from . import ast_nodes
+    from .tokens import Token
+
+__all__ = ["Span"]
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A located region of source text (1-based, end-exclusive columns)."""
+
+    line: int = 0
+    column: int = 0
+    end_line: int = 0
+    end_column: int = 0
+    file: str | None = None
+
+    def __post_init__(self) -> None:
+        # Normalize a point span: an unset end collapses onto the start.
+        if self.end_line < self.line or (
+            self.end_line == self.line and self.end_column < self.column
+        ):
+            object.__setattr__(self, "end_line", self.line)
+            object.__setattr__(self, "end_column", self.column)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_token(cls, token: "Token", file: str | None = None) -> "Span":
+        """The span covering one lexical token."""
+        return cls(
+            line=token.line,
+            column=token.column,
+            end_line=token.line,
+            end_column=token.column + max(len(token.text), 1),
+            file=file,
+        )
+
+    @classmethod
+    def from_node(cls, node: "ast_nodes.Node", file: str | None = None) -> "Span":
+        """The (point) span at a node's recorded position."""
+        line = getattr(node, "line", 0) or 0
+        column = getattr(node, "column", 0) or 0
+        return cls(line=line, column=column, file=file)
+
+    def with_file(self, file: str | None) -> "Span":
+        """A copy of this span attributed to ``file``."""
+        return replace(self, file=file)
+
+    def merge(self, other: "Span") -> "Span":
+        """The smallest span covering both ``self`` and ``other``."""
+        first, last = sorted((self, other))
+        return Span(
+            line=first.line,
+            column=first.column,
+            end_line=max(first.end_line, last.end_line),
+            end_column=(
+                max(first.end_column, last.end_column)
+                if first.end_line == last.end_line
+                else last.end_column
+            ),
+            file=self.file or other.file,
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates and rendering
+    # ------------------------------------------------------------------
+    @property
+    def is_known(self) -> bool:
+        """Whether the span points at a real source location."""
+        return self.line > 0
+
+    def __str__(self) -> str:
+        prefix = f"{self.file}:" if self.file else ""
+        if not self.is_known:
+            return f"{prefix}?:?" if prefix else "<unknown location>"
+        if self.column > 0:
+            return f"{prefix}{self.line}:{self.column}"
+        return f"{prefix}{self.line}"
+
+    def caret_excerpt(self, source: str) -> str:
+        """A two-line ``source-line`` + caret excerpt (GCC style)."""
+        if not self.is_known:
+            return ""
+        lines = source.splitlines()
+        if not 1 <= self.line <= len(lines):
+            return ""
+        text = lines[self.line - 1]
+        caret_col = max(self.column, 1)
+        width = 1
+        if self.end_line == self.line and self.end_column > self.column:
+            width = self.end_column - self.column
+        caret = " " * (caret_col - 1) + "^" + "~" * (width - 1)
+        return f"{text}\n{caret}"

@@ -5,6 +5,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from .span import Span
+
 __all__ = ["TokenKind", "Token", "KEYWORDS"]
 
 
@@ -102,6 +104,11 @@ class Token:
     text: str
     line: int
     column: int
+
+    @property
+    def span(self) -> Span:
+        """The source region this token covers."""
+        return Span.from_token(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

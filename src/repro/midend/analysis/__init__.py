@@ -1,7 +1,20 @@
-"""Program analyses: UDF priority updates, dependences, loop patterns."""
+"""Program analyses: UDF priority updates, dependences, loop patterns,
+race/atomicity classification, and the diagnostics engine."""
 
 from .dependence import DependenceInfo, analyze_dependences
+from .diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    Severity,
+    check_schedule_compat,
+    lint_program,
+    race_diagnostics,
+    render_diagnostic,
+    validate_ir,
+    validate_ir_or_raise,
+)
 from .loop_patterns import OrderedLoopInfo, recognize_ordered_loop
+from .races import RaceClass, RaceReport, WriteSite, analyze_races
 from .udf_analysis import (
     ConstantSumInfo,
     PriorityUpdate,
@@ -18,4 +31,17 @@ __all__ = [
     "PriorityUpdate",
     "analyze_constant_sum",
     "find_priority_updates",
+    "RaceClass",
+    "RaceReport",
+    "WriteSite",
+    "analyze_races",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "Severity",
+    "check_schedule_compat",
+    "lint_program",
+    "race_diagnostics",
+    "render_diagnostic",
+    "validate_ir",
+    "validate_ir_or_raise",
 ]

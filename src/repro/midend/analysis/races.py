@@ -1,0 +1,392 @@
+"""Race/atomicity analysis for ``applyUpdatePriority`` UDFs.
+
+The paper's compiler silently decides which writes inside an edge UDF need
+atomic lowering (the ``atomicWriteMin``/``fetch_add`` of Figure 9) and which
+may stay plain.  This module makes that decision explicit and auditable:
+every write to shared state — a vertex property vector, a shared scalar
+global, or the priority queue itself — is classified under the *active
+schedule's* traversal direction and parallelization policy into one of four
+:class:`RaceClass`es:
+
+``BENIGN``
+    The write cannot race (thread-owned index under the traversal
+    direction, or an idempotent constant store), or it races benignly (a
+    guarded monotonic test-and-set whose lost updates are re-established
+    by a following priority update).
+``NEEDS_CAS``
+    A min/max priority update on a shared vertex: the backend must lower it
+    to a compare-exchange loop (``atomicWriteMin``/``atomicWriteMax``).
+``NEEDS_DEDUP``
+    A sum priority update: the backend must lower it to a clamped
+    ``fetch_add`` *and* deduplicate bucket insertions (processing a vertex
+    twice is incorrect for k-core-style UDFs — Section 5.1).
+``UNORDERED_RACY``
+    A plain, unguarded write to shared state that two threads may perform
+    concurrently with differing values: a correctness bug under the chosen
+    parallel schedule.  The diagnostics engine reports these as ``R001``
+    errors; the Python backend refuses to run them.
+
+The classification is consumed by both backends: the C++ generator emits
+``compare_exchange``/``fetch_add`` only for sites classified ``NEEDS_CAS``/
+``NEEDS_DEDUP`` (no unconditional atomics), and the Python backend embeds
+the classification in the generated module and asserts it at runtime
+against the schedule it executes under.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...lang import ast_nodes as ast
+from ...lang.span import Span
+from ..schedule import Schedule
+from .udf_analysis import PriorityUpdate, find_priority_updates
+
+__all__ = ["RaceClass", "WriteSite", "RaceReport", "analyze_races"]
+
+
+class RaceClass(enum.Enum):
+    """Classification of one shared write under a parallel schedule."""
+
+    BENIGN = "benign"
+    NEEDS_CAS = "needs_cas"
+    NEEDS_DEDUP = "needs_dedup"
+    UNORDERED_RACY = "unordered_racy"
+
+    @property
+    def is_atomic(self) -> bool:
+        """Whether the C++ backend must emit an atomic for this site."""
+        return self in (RaceClass.NEEDS_CAS, RaceClass.NEEDS_DEDUP)
+
+
+@dataclass
+class WriteSite:
+    """One classified write to shared state inside a UDF."""
+
+    node: ast.Node  # the Assign or MethodCall performing the write
+    target: str  # rendered target, e.g. "dist[dst]" or "priority(pq)"
+    race_class: RaceClass
+    reason: str
+    span: Span
+    update: PriorityUpdate | None = None  # set for priority-update sites
+    cas_seed: ast.Expr | None = None  # old-value expr seeding the CAS loop
+
+    @property
+    def is_priority_update(self) -> bool:
+        return self.update is not None
+
+
+@dataclass
+class RaceReport:
+    """The full classification of one UDF under one schedule."""
+
+    udf_name: str
+    direction: str
+    parallelization: str
+    sites: list[WriteSite] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates the backends and diagnostics consume
+    # ------------------------------------------------------------------
+    @property
+    def needs_atomics(self) -> bool:
+        return any(site.race_class.is_atomic for site in self.sites)
+
+    @property
+    def needs_deduplication(self) -> bool:
+        return any(
+            site.race_class is RaceClass.NEEDS_DEDUP for site in self.sites
+        )
+
+    @property
+    def racy_sites(self) -> list[WriteSite]:
+        return [
+            site
+            for site in self.sites
+            if site.race_class is RaceClass.UNORDERED_RACY
+        ]
+
+    def site_for(self, node: ast.Node) -> WriteSite | None:
+        """The classified site for an AST node (identity match)."""
+        for site in self.sites:
+            if site.node is node:
+                return site
+        return None
+
+    def summary(self) -> list[dict]:
+        """JSON-serializable per-site summary (embedded in generated code)."""
+        return [
+            {
+                "target": site.target,
+                "class": site.race_class.value,
+                "line": site.span.line,
+                "reason": site.reason,
+            }
+            for site in self.sites
+        ]
+
+
+def analyze_races(
+    udf: ast.FuncDecl,
+    queue_names: set[str],
+    schedule: Schedule,
+    source_file: str | None = None,
+) -> RaceReport:
+    """Classify every shared write in ``udf`` under ``schedule``.
+
+    ``udf`` is an edge UDF with parameters ``(src, dst[, weight])``.  Under
+    push-direction traversal the parallel loop runs over sources, so any
+    write indexed by ``dst`` is cross-thread; under pull it runs over
+    destinations, so ``dst``-indexed writes are thread-owned and
+    ``src``-indexed writes are cross-thread.
+    """
+    parameters = [name for name, _ in udf.parameters]
+    src_param = parameters[0] if parameters else "src"
+    dst_param = parameters[1] if len(parameters) > 1 else "dst"
+    if schedule.direction == "DensePull":
+        owned_param, foreign_param = dst_param, src_param
+    else:
+        owned_param, foreign_param = src_param, dst_param
+
+    local_names = set(parameters)
+    for node in ast.walk(udf):
+        if isinstance(node, ast.VarDecl):
+            local_names.add(node.name)
+
+    report = RaceReport(
+        udf_name=udf.name,
+        direction=schedule.direction,
+        parallelization=schedule.parallelization,
+    )
+    updates = {id(u.call): u for u in find_priority_updates(udf, queue_names)}
+
+    _classify_body(
+        udf.body,
+        report,
+        updates,
+        guards=[],
+        owned_param=owned_param,
+        foreign_param=foreign_param,
+        local_names=local_names,
+        source_file=source_file,
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Classification walk
+# ----------------------------------------------------------------------
+def _classify_body(
+    body: list[ast.Stmt],
+    report: RaceReport,
+    updates: dict[int, PriorityUpdate],
+    guards: list[ast.Expr],
+    **env,
+) -> None:
+    for statement in body:
+        if isinstance(statement, ast.If):
+            inner = guards + [statement.condition]
+            _classify_body(statement.then_body, report, updates, inner, **env)
+            _classify_body(statement.else_body, report, updates, guards, **env)
+        elif isinstance(statement, (ast.While, ast.For)):
+            _classify_body(statement.body, report, updates, guards, **env)
+        elif isinstance(statement, ast.ExprStmt):
+            update = updates.get(id(statement.expression))
+            if update is not None:
+                report.sites.append(_classify_update(update, **env))
+        elif isinstance(statement, ast.Assign):
+            site = _classify_assign(statement, guards, **env)
+            if site is not None:
+                report.sites.append(site)
+
+
+def _classify_update(
+    update: PriorityUpdate,
+    *,
+    owned_param: str,
+    foreign_param: str,
+    local_names: set[str],
+    source_file: str | None,
+) -> WriteSite:
+    """A priority-update operator: CAS/fetch-add class per target index."""
+    span = Span.from_node(update.call, file=source_file)
+    target = f"priority({update.queue_name})"
+    vertex = update.vertex_arg
+    vertex_name = vertex.identifier if isinstance(vertex, ast.Name) else None
+
+    if vertex_name == owned_param:
+        return WriteSite(
+            node=update.call,
+            target=target,
+            race_class=RaceClass.BENIGN,
+            reason=(
+                f"update indexed by {vertex_name!r} is thread-owned under "
+                f"this traversal direction; plain write suffices"
+            ),
+            span=span,
+            update=update,
+        )
+    if update.op == "sum":
+        return WriteSite(
+            node=update.call,
+            target=target,
+            race_class=RaceClass.NEEDS_DEDUP,
+            reason=(
+                f"sum update indexed by {vertex_name or 'a non-parameter'}"
+                f" crosses threads: clamped fetch_add plus bucket "
+                f"deduplication required (Section 5.1)"
+            ),
+            span=span,
+            update=update,
+        )
+    seed = update.old_arg
+    return WriteSite(
+        node=update.call,
+        target=target,
+        race_class=RaceClass.NEEDS_CAS,
+        reason=(
+            f"{update.op} update indexed by "
+            f"{vertex_name or 'a non-parameter'} crosses threads: "
+            f"compare_exchange loop required"
+            + (
+                "; CAS seeded from the UDF's read of the old priority"
+                if seed is not None
+                else ""
+            )
+        ),
+        span=span,
+        update=update,
+        cas_seed=seed,
+    )
+
+
+def _classify_assign(
+    assign: ast.Assign,
+    guards: list[ast.Expr],
+    *,
+    owned_param: str,
+    foreign_param: str,
+    local_names: set[str],
+    source_file: str | None,
+) -> WriteSite | None:
+    """A plain assignment: shared-state writes get classified, locals skip."""
+    target = assign.target
+    span = Span.from_node(assign, file=source_file)
+
+    if isinstance(target, ast.Name):
+        name = target.identifier
+        if name in local_names:
+            return None  # thread-local: parameters and var declarations
+        rendered = name
+        if isinstance(assign.value, (ast.IntLiteral, ast.BoolLiteral)):
+            return WriteSite(
+                node=assign,
+                target=rendered,
+                race_class=RaceClass.BENIGN,
+                reason=(
+                    "constant store to shared scalar is idempotent "
+                    "(every thread writes the same value)"
+                ),
+                span=span,
+            )
+        return WriteSite(
+            node=assign,
+            target=rendered,
+            race_class=RaceClass.UNORDERED_RACY,
+            reason=(
+                "non-constant write to shared scalar from a parallel UDF; "
+                "the last writer wins nondeterministically"
+            ),
+            span=span,
+        )
+
+    if not isinstance(target, ast.Index):
+        return None
+    base = target.base
+    index = target.index
+    base_name = base.identifier if isinstance(base, ast.Name) else "<expr>"
+    index_name = index.identifier if isinstance(index, ast.Name) else None
+    rendered = f"{base_name}[{index_name or '<expr>'}]"
+
+    if index_name is not None and index_name == owned_param:
+        return WriteSite(
+            node=assign,
+            target=rendered,
+            race_class=RaceClass.BENIGN,
+            reason=(
+                f"indexed by the thread-owned parameter {index_name!r} "
+                f"under this traversal direction"
+            ),
+            span=span,
+        )
+    # Any other index — the foreign parameter, or a local holding an
+    # arbitrary vertex id (which can alias it) — crosses threads.
+    if _is_guarded_monotonic(assign, guards, base_name, index):
+        return WriteSite(
+            node=assign,
+            target=rendered,
+            race_class=RaceClass.BENIGN,
+            reason=(
+                "benign race: guarded monotonic test-and-set "
+                "(a lost update is re-established by the following "
+                "priority update / later relaxation)"
+            ),
+            span=span,
+        )
+    return WriteSite(
+        node=assign,
+        target=rendered,
+        race_class=RaceClass.UNORDERED_RACY,
+        reason=(
+            f"unguarded write to shared vertex property {rendered!r} "
+            f"indexed across threads; needs an atomic or a guard"
+        ),
+        span=span,
+    )
+
+
+def _is_guarded_monotonic(
+    assign: ast.Assign,
+    guards: list[ast.Expr],
+    base_name: str,
+    index: ast.Expr,
+) -> bool:
+    """Whether the write sits under a comparison against its own target.
+
+    This recognizes the A*/Bellman-Ford idiom::
+
+        if new_dist < dist[dst]
+            dist[dst] = new_dist;
+
+    The store may lose a concurrent smaller value, but the race is benign:
+    monotone relaxation re-delivers it (and in the paper's programs a
+    priority update follows that re-enqueues the vertex).
+    """
+    for guard in guards:
+        for node in ast.walk(guard):
+            if not isinstance(node, ast.BinaryOp):
+                continue
+            if node.operator not in ("<", ">", "<=", ">=", "!=", "=="):
+                continue
+            for side in (node.left, node.right):
+                if _same_indexed_read(side, base_name, index):
+                    return True
+    return False
+
+
+def _same_indexed_read(expr: ast.Expr, base_name: str, index: ast.Expr) -> bool:
+    return (
+        isinstance(expr, ast.Index)
+        and isinstance(expr.base, ast.Name)
+        and expr.base.identifier == base_name
+        and _same_simple_expr(expr.index, index)
+    )
+
+
+def _same_simple_expr(left: ast.Expr, right: ast.Expr) -> bool:
+    if isinstance(left, ast.Name) and isinstance(right, ast.Name):
+        return left.identifier == right.identifier
+    if isinstance(left, ast.IntLiteral) and isinstance(right, ast.IntLiteral):
+        return left.value == right.value
+    return False

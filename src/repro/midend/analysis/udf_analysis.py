@@ -44,6 +44,18 @@ class PriorityUpdate:
     vertex_arg: ast.Expr
     value_arg: ast.Expr  # new value (min/max) or difference (sum)
     threshold_arg: ast.Expr | None  # sum only
+    old_arg: ast.Expr | None = None  # 3-arg min/max form: the read old value
+
+    @property
+    def has_old_value(self) -> bool:
+        """Whether the UDF passed the current priority (the 3-arg form).
+
+        The race analysis uses the preserved expression to seed the CAS
+        loop the C++ backend generates: the first ``compare_exchange``
+        attempt starts from the value the UDF already read instead of
+        issuing an extra atomic load.
+        """
+        return self.old_arg is not None
 
 
 @dataclass
@@ -72,15 +84,18 @@ def find_priority_updates(
             continue
         op = _UPDATE_METHODS[node.method]
         arguments = node.arguments
+        old_arg: ast.Expr | None = None
         if op in ("min", "max"):
             # Both forms appear in the paper: (v, new) and (v, old, new).
+            # The old-value argument is *preserved* (not dropped): the race
+            # analysis seeds CAS lowering from it.
             if len(arguments) == 2:
                 vertex_arg, value_arg = arguments
             elif len(arguments) == 3:
-                vertex_arg, _, value_arg = arguments
+                vertex_arg, old_arg, value_arg = arguments
             else:
                 raise CompileError(
-                    f"line {node.line}: {node.method} takes 2 or 3 arguments"
+                    f"{node.method} takes 2 or 3 arguments", span=node.span
                 )
             threshold_arg = None
         else:
@@ -91,7 +106,7 @@ def find_priority_updates(
                 vertex_arg, value_arg, threshold_arg = arguments
             else:
                 raise CompileError(
-                    f"line {node.line}: updatePrioritySum takes 2 or 3 arguments"
+                    "updatePrioritySum takes 2 or 3 arguments", span=node.span
                 )
         updates.append(
             PriorityUpdate(
@@ -101,6 +116,7 @@ def find_priority_updates(
                 vertex_arg=vertex_arg,
                 value_arg=value_arg,
                 threshold_arg=threshold_arg,
+                old_arg=old_arg,
             )
         )
     return updates

@@ -148,11 +148,23 @@ class Schedule:
 
 
 class SchedulingProgram:
-    """Fluent builder over per-label schedules (the ``program->...`` chain)."""
+    """Fluent builder over per-label schedules (the ``program->...`` chain).
+
+    Beyond the merged per-label :class:`Schedule`, the builder records every
+    individual command issued (``commands_for``) and every label a backend
+    actually looked up (``consulted_labels``), so the diagnostics engine can
+    flag configs for labels that never appear in any program — the silent
+    misspelled-label footgun — and knobs that are dead under the chosen
+    strategy.
+    """
 
     def __init__(self, default: Schedule | None = None):
         self._default = default if default is not None else Schedule()
         self._schedules: dict[str, Schedule] = {}
+        # Every (knob, value) command, in issue order, keyed by label.
+        self._commands: dict[str, list[tuple[str, object]]] = {}
+        # Labels schedule_for() was asked about (the footgun audit trail).
+        self._consulted: set[str] = set()
 
     # ------------------------------------------------------------------
     # Table 2 commands
@@ -187,6 +199,9 @@ class SchedulingProgram:
     def config_num_threads(self, label: str, config: int | str) -> "SchedulingProgram":
         return self._update(label, num_threads=self._parse_int(config, "num_threads"))
 
+    def config_chunk_size(self, label: str, config: int | str) -> "SchedulingProgram":
+        return self._update(label, chunk_size=self._parse_int(config, "chunk_size"))
+
     # CamelCase aliases so paper schedules paste directly.
     configApplyPriorityUpdate = config_apply_priority_update
     configApplyPriorityUpdateDelta = config_apply_priority_update_delta
@@ -195,23 +210,46 @@ class SchedulingProgram:
     configApplyDirection = config_apply_direction
     configApplyParallelization = config_apply_parallelization
     configNumThreads = config_num_threads
+    configChunkSize = config_chunk_size
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def schedule_for(self, label: str) -> Schedule:
-        """The schedule for a label (the default when never configured)."""
+        """The schedule for a label (the default when never configured).
+
+        Every lookup is recorded; :attr:`consulted_labels` exposes which
+        labels the compiler actually used, so callers can detect configured
+        labels that were never consulted (usually a typo).
+        """
+        self._consulted.add(label)
         return self._schedules.get(label, self._default)
 
     @property
     def labels(self) -> tuple[str, ...]:
         return tuple(self._schedules)
 
+    @property
+    def consulted_labels(self) -> frozenset[str]:
+        """Labels :meth:`schedule_for` has been asked about so far."""
+        return frozenset(self._consulted)
+
+    def unconsulted_labels(self) -> tuple[str, ...]:
+        """Configured labels no compilation ever looked up (typo suspects)."""
+        return tuple(
+            label for label in self._schedules if label not in self._consulted
+        )
+
+    def commands_for(self, label: str) -> tuple[tuple[str, object], ...]:
+        """The individual (knob, value) commands issued for ``label``."""
+        return tuple(self._commands.get(label, ()))
+
     def _update(self, label: str, **changes) -> "SchedulingProgram":
         if not label:
             raise SchedulingError("schedule label must be non-empty")
         current = self._schedules.get(label, self._default)
         self._schedules[label] = current.with_(**changes)
+        self._commands.setdefault(label, []).extend(changes.items())
         return self
 
     @staticmethod

@@ -25,7 +25,9 @@ from ...lang.symbols import SymbolTable
 from ...lang.typecheck import typecheck
 from ...lang.types import PriorityQueueType
 from ..analysis.dependence import DependenceInfo, analyze_dependences
+from ..analysis.diagnostics import validate_ir_or_raise
 from ..analysis.loop_patterns import OrderedLoopInfo, recognize_ordered_loop
+from ..analysis.races import RaceReport, analyze_races
 from ..analysis.udf_analysis import (
     ConstantSumInfo,
     analyze_constant_sum,
@@ -46,6 +48,7 @@ _SCHEDULE_COMMANDS = {
     "configApplyDirection": "config_apply_direction",
     "configApplyParallelization": "config_apply_parallelization",
     "configNumThreads": "config_num_threads",
+    "configChunkSize": "config_chunk_size",
 }
 
 
@@ -62,10 +65,16 @@ class CompilationPlan:
     dependence: DependenceInfo | None
     constant_sum: ConstantSumInfo | None
     transformed_udf: ast.FuncDecl | None
+    races: RaceReport | None = None
 
     @property
     def label(self) -> str | None:
         return self.loop.label if self.loop is not None else None
+
+    @property
+    def needs_atomics(self) -> bool:
+        """Whether any classified site requires atomic lowering."""
+        return self.races is not None and self.races.needs_atomics
 
 
 def schedule_from_block(program: ast.Program) -> SchedulingProgram:
@@ -94,6 +103,9 @@ def plan_program(
 ) -> CompilationPlan:
     """Run the midend (see module docstring) and return the plan."""
     table = typecheck(program)
+    # The IR validator runs between every midend stage: catch a frontend
+    # that handed over broken IR before any pass consumes it.
+    validate_ir_or_raise(program, "typed")
 
     queue_names = {
         const.name
@@ -116,6 +128,7 @@ def plan_program(
     dependence: DependenceInfo | None = None
     constant_sum: ConstantSumInfo | None = None
     transformed: ast.FuncDecl | None = None
+    races: RaceReport | None = None
 
     if loop is not None and loop.udf_name is not None:
         udf = program.function(loop.udf_name)
@@ -129,6 +142,14 @@ def plan_program(
                 f"the UDF {udf.name!r} contains no priority update operator"
             )
         dependence = analyze_dependences(udf, queue_names, resolved.direction)
+        # The race/atomicity analysis (per-site classification) drives the
+        # backends: the C++ generator emits atomics only for sites that
+        # need them, the Python backend asserts the classification at run
+        # time.  Racy classifications do NOT abort the plan — `repro lint`
+        # reports them and the interpreter refuses to execute them.
+        races = analyze_races(
+            udf, queue_names, resolved, source_file=program.source_file
+        )
         constant_sum = analyze_constant_sum(udf, queue_names)
         if resolved.uses_histogram:
             if constant_sum is None:
@@ -154,6 +175,13 @@ def plan_program(
                 "replace it with the ordered processing operator"
             )
 
+    # Post-lowering validation: the transforms must have left the IR in a
+    # backend-consumable state (histogram UDF present iff scheduled, no
+    # unresolved symbols introduced by the transform).
+    validate_ir_or_raise(
+        program, "lowered", schedule=resolved, transformed_udf=transformed
+    )
+
     return CompilationPlan(
         program=program,
         table=table,
@@ -164,6 +192,7 @@ def plan_program(
         dependence=dependence,
         constant_sum=constant_sum,
         transformed_udf=transformed,
+        races=races,
     )
 
 

@@ -163,12 +163,28 @@ class TestUdfAnalysis:
         assert isinstance(updates[0].vertex_arg, ast.Name)
         assert updates[0].vertex_arg.identifier == "dst"
 
-    def test_three_argument_form_drops_old_value(self):
+    def test_three_argument_form_preserves_old_value(self):
         program = _program("sssp")
         update = find_priority_updates(program.function("updateEdge"), {"pq"})[0]
-        # Figure 3 passes (dst, dist[dst], new_dist); the value is the last.
+        # Figure 3 passes (dst, dist[dst], new_dist); the value is the last,
+        # and the old-value read is preserved so the race analysis can seed
+        # the CAS loop from it instead of an extra atomic load.
         assert isinstance(update.value_arg, ast.Name)
         assert update.value_arg.identifier == "new_dist"
+        assert update.has_old_value
+        assert isinstance(update.old_arg, ast.Index)
+        assert update.old_arg.base.identifier == "dist"
+
+    def test_two_argument_form_has_no_old_value(self):
+        source = ALL_PROGRAMS["sssp"].replace(
+            "pq.updatePriorityMin(dst, dist[dst], new_dist);",
+            "pq.updatePriorityMin(dst, new_dist);",
+        )
+        program = parse(source)
+        update = find_priority_updates(program.function("updateEdge"), {"pq"})[0]
+        assert update.op == "min"
+        assert not update.has_old_value
+        assert update.old_arg is None
 
     def test_constant_sum_detected_for_kcore(self):
         program = _program("kcore")
