@@ -62,12 +62,15 @@ class CompiledProgram:
         args: list[str],
         graph: CSRGraph | None = None,
         extern_functions: dict[str, Callable] | None = None,
+        vectorize: bool = True,
     ) -> RunResult:
         """Execute the program (Python backend only).
 
         ``args`` plays the role of ``argv`` (``args[0]`` is the program
         name).  When ``graph`` is given, ``load(...)`` returns it instead of
-        reading a file.
+        reading a file.  ``vectorize=False`` forces the scalar reference
+        interpreter even for UDFs the midend classified as vectorizable —
+        the oracle the differential tests compare against.
         """
         if self.backend != "python":
             raise CompileError(
@@ -79,6 +82,7 @@ class CompiledProgram:
             schedule=self.plan.schedule,
             graph=graph,
             extern_functions=extern_functions,
+            vectorize=vectorize,
         )
         program_globals = self._entry(context)
         context.globals.update(program_globals)

@@ -55,6 +55,11 @@ class EagerBucketQueue(AbstractPriorityQueue):
         self._local_bins: list[dict[int, list[np.ndarray]]] = [
             {} for _ in range(self.num_threads)
         ]
+        # Cached per-thread minimum open order (None = thread has no bins).
+        # Maintained on insert (cheap monotone min) and invalidated only
+        # when a thread's minimum bin is popped, so ``min_order`` no longer
+        # rescans every thread's dict on each dequeue.
+        self._min_cache: list[int | None] = [None] * self.num_threads
         self._active_thread = 0
 
         if self._initial_vertices.size:
@@ -87,9 +92,27 @@ class EagerBucketQueue(AbstractPriorityQueue):
         return all(not bins for bins in self._local_bins)
 
     def min_order(self) -> int | None:
-        """Smallest bucket order present in any thread's local bins."""
-        candidates = [min(bins) for bins in self._local_bins if bins]
+        """Smallest bucket order present in any thread's local bins.
+
+        Served from the per-thread minimum cache; no per-call scan over
+        every thread's bin dictionary.
+        """
+        candidates = [order for order in self._min_cache if order is not None]
         return min(candidates) if candidates else None
+
+    def _note_insert(self, thread_id: int, order: int) -> None:
+        """Update thread ``thread_id``'s cached minimum after an insert."""
+        cached = self._min_cache[thread_id]
+        if cached is None or order < cached:
+            self._min_cache[thread_id] = order
+
+    def _note_removal(self, thread_id: int, order: int) -> None:
+        """Recompute thread ``thread_id``'s cached minimum after its bin
+        for ``order`` was removed (only needed when it was the minimum)."""
+        if self._min_cache[thread_id] != order:
+            return
+        bins = self._local_bins[thread_id]
+        self._min_cache[thread_id] = min(bins) if bins else None
 
     def dequeue_ready_set(self) -> np.ndarray:
         """Pick the global minimum bucket and gather every thread's local
@@ -131,6 +154,7 @@ class EagerBucketQueue(AbstractPriorityQueue):
         if size >= max_size:
             return None
         del bins[self._cur_order]
+        self._note_removal(thread_id, self._cur_order)
         members = np.unique(np.concatenate(chunks))
         live = self._filter_and_mark_live(members, self._cur_order)
         if live.size == 0:
@@ -213,6 +237,7 @@ class EagerBucketQueue(AbstractPriorityQueue):
         for order in np.unique(orders):
             members = vertices[orders == order]
             bins.setdefault(int(order), []).append(members)
+            self._note_insert(thread_id, int(order))
 
     def insert_batch_at(
         self, thread_id: int, vertices: np.ndarray, orders: np.ndarray
@@ -234,6 +259,7 @@ class EagerBucketQueue(AbstractPriorityQueue):
         for order in np.unique(orders):
             members = vertices[orders == order]
             bins.setdefault(int(order), []).append(members)
+            self._note_insert(thread_id, int(order))
 
     # ------------------------------------------------------------------
     # Internals
@@ -243,13 +269,15 @@ class EagerBucketQueue(AbstractPriorityQueue):
         self._local_bins[thread_id].setdefault(order, []).append(
             np.array([vertex], dtype=np.int64)
         )
+        self._note_insert(thread_id, order)
 
     def _gather_order(self, order: int) -> np.ndarray:
         chunks: list[np.ndarray] = []
-        for bins in self._local_bins:
+        for thread_id, bins in enumerate(self._local_bins):
             thread_chunks = bins.pop(order, None)
             if thread_chunks:
                 chunks.extend(thread_chunks)
+            self._note_removal(thread_id, order)
         if not chunks:
             return np.empty(0, dtype=np.int64)
         return np.unique(np.concatenate(chunks))

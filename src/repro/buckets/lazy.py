@@ -157,12 +157,17 @@ class LazyBucketQueue(AbstractPriorityQueue):
     # Priority update operators (batch, used by vectorized executors)
     # ------------------------------------------------------------------
     def buffer_changed_batch(self, vertices: np.ndarray) -> int:
-        """Buffer a batch of vertices whose priorities the caller already
-        updated in the priority vector (the vectorized write-min path).
+        """Buffer a batch of *distinct changed* vertices whose priorities the
+        caller already updated in the priority vector.
 
         Deduplicates against the pending flags; returns how many entries were
-        actually appended.  Every attempt is charged as a buffer append and
-        failed flag-CASes are counted as dedup hits, matching the scalar path.
+        actually appended.  Accounting is per *vertex*, not per attempt: only
+        fresh (previously unflagged) vertices charge a buffer append, and
+        already-flagged vertices count as dedup hits.  This matches the
+        histogram operator (Figure 10), which buffers each changed vertex
+        once per round.  The scalar interpreter charges an append per
+        *attempt* instead — use :meth:`buffer_attempts_batch` when the
+        scalar path's counters must be reproduced exactly.
         """
         vertices = np.unique(np.asarray(vertices, dtype=np.int64))
         if vertices.size == 0:
@@ -174,6 +179,40 @@ class LazyBucketQueue(AbstractPriorityQueue):
             self._pending_flags[fresh] = True
             self._pending.append(fresh)
             self.stats.buffer_appends += int(fresh.size)
+        return int(fresh.size)
+
+    def buffer_attempts_batch(self, vertices: np.ndarray) -> int:
+        """Buffer a stream of successful-update attempts, scalar-exactly.
+
+        ``vertices`` is the multiset of vertices whose updates succeeded, one
+        entry per successful update (duplicates allowed).  Every attempt
+        charges a buffer append (the unconditional append counter of
+        Figure 9(a)) and every attempt on an already-flagged vertex —
+        including the second and later occurrences within this very batch —
+        counts as a dedup hit, exactly as if :meth:`_buffer_vertex` had run
+        once per attempt.  This is what the vectorized apply operators use to
+        keep ``RuntimeStats`` bit-identical to the scalar interpreter.
+
+        Returns how many distinct vertices were freshly appended.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return 0
+        self.stats.buffer_appends += int(vertices.size)
+        if vertices.size > 1 and bool(np.all(vertices[1:] >= vertices[:-1])):
+            # Destination-sorted streams (the common case for the vectorized
+            # operators) dedupe with a boundary mask instead of a full sort.
+            first = np.empty(vertices.size, dtype=bool)
+            first[0] = True
+            np.not_equal(vertices[1:], vertices[:-1], out=first[1:])
+            unique = vertices[first]
+        else:
+            unique = np.unique(vertices)
+        fresh = unique[~self._pending_flags[unique]]
+        self.stats.dedup_hits += int(vertices.size - fresh.size)
+        if fresh.size:
+            self._pending_flags[fresh] = True
+            self._pending.append(fresh)
         return int(fresh.size)
 
     def apply_histogram_updates(

@@ -217,6 +217,157 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    """Micro-benchmark the vectorized apply operators against the scalar
+    reference interpreter from identical state, and write the results.
+
+    The two paths run the same ``applyUpdatePriority`` (SSSP relaxation)
+    over a full-graph frontier on a deterministic R-MAT input; the stats
+    dumps and output vectors must be bit-identical (the benchmark aborts
+    otherwise), so the speedup measures pure interpreter overhead.
+    """
+    import dataclasses
+    import json
+    import time
+
+    from .backend.runtime_support import Context
+    from .buckets.lazy import LazyBucketQueue
+    from .graph.properties import INT_MAX
+
+    graph = rmat(args.scale, args.edge_factor, seed=args.seed, weights=(1, 4))
+    n = graph.num_vertices
+    schedule = Schedule(
+        priority_update="lazy", delta=args.delta, num_threads=args.threads
+    )
+
+    def make_closures(context, dist):
+        queue = LazyBucketQueue(
+            dist,
+            direction="lower_first",
+            delta=args.delta,
+            num_open_buckets=schedule.num_buckets,
+            stats=context.stats,
+            initial_vertices=np.empty(0, dtype=np.int64),
+        )
+
+        def udf(src, dst, weight):
+            new_dist = dist[src] + weight
+            queue.update_priority_min(dst, new_dist)
+
+        kernel = dict(
+            kind="write_min",
+            value=lambda src, dst, weight, k_cur: dist[src] + weight,
+            hazard=lambda: [dist],
+        )
+        return queue, udf, kernel
+
+    # Capture a genuine mid-execution state: run SSSP with the scalar
+    # interpreter and snapshot (distances, frontier, current bucket) at the
+    # round touching the most edges — the state the paper's apply operator
+    # spends its time in.
+    degrees = graph.out_degrees()
+    source = int(np.argmax(degrees))
+    warm_context = Context(argv=["bench"], schedule=schedule)
+    warm_dist = np.full(n, INT_MAX, dtype=np.int64)
+    warm_dist[source] = 0
+    warm_queue = LazyBucketQueue(
+        warm_dist,
+        direction="lower_first",
+        delta=args.delta,
+        num_open_buckets=schedule.num_buckets,
+        stats=warm_context.stats,
+        initial_vertices=np.array([source], dtype=np.int64),
+    )
+
+    def warm_udf(src, dst, weight):
+        warm_queue.update_priority_min(dst, warm_dist[src] + weight)
+
+    snapshot = None
+    while True:
+        bucket = warm_queue.dequeue_ready_set()
+        if bucket.size == 0:
+            break
+        touched = int(degrees[bucket].sum())
+        if snapshot is None or touched > snapshot[3]:
+            snapshot = (warm_dist.copy(), bucket.copy(), warm_queue._cur_order, touched)
+        warm_context.apply_update_priority(graph, bucket, warm_udf, warm_queue)
+    snap_dist, frontier, snap_order, touched_edges = snapshot
+
+    def make_state():
+        context = Context(argv=["bench"], schedule=schedule)
+        dist = snap_dist.copy()
+        queue, udf, kernel = make_closures(context, dist)
+        queue._cur_order = snap_order
+        return context, dist, queue, udf, kernel
+
+    def dump(stats):
+        d = dataclasses.asdict(stats)
+        d.pop("_current_work", None)
+        return d
+
+    def run_once(vectorized):
+        context, dist, queue, udf, kernel = make_state()
+        context.vectorize = vectorized
+        started = time.perf_counter()
+        context.apply_update_priority(
+            graph, frontier, udf, queue, kernel=kernel
+        )
+        elapsed = time.perf_counter() - started
+        return elapsed, dist, dump(context.stats), context
+
+    # Correctness gate first: one run per path, bit-identical or abort.
+    _, scalar_dist, scalar_stats, _ = run_once(False)
+    _, vector_dist, vector_stats, vector_ctx = run_once(True)
+    if not np.array_equal(scalar_dist, vector_dist) or scalar_stats != vector_stats:
+        print("bench-kernels: scalar and vectorized runs diverged; aborting")
+        return 1
+    if vector_ctx.vectorized_applies == 0:
+        print("bench-kernels: kernel descriptor was not used; aborting")
+        return 1
+
+    scalar_time = min(run_once(False)[0] for _ in range(args.repeats))
+    vector_time = min(run_once(True)[0] for _ in range(args.repeats))
+    speedup = scalar_time / vector_time if vector_time > 0 else float("inf")
+
+    record = {
+        "benchmark": "apply_update_priority (SSSP relaxation, SparsePush, lazy)",
+        "graph": {
+            "kind": "rmat",
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "seed": args.seed,
+            "num_vertices": int(n),
+            "num_edges": int(graph.num_edges),
+        },
+        "delta": args.delta,
+        "num_threads": args.threads,
+        "repeats": args.repeats,
+        "frontier_vertices": int(frontier.size),
+        "frontier_edges": int(touched_edges),
+        "scalar_seconds": scalar_time,
+        "vectorized_seconds": vector_time,
+        "speedup": speedup,
+        "stats_identical": True,
+        "relaxations": scalar_stats["relaxations"],
+        "priority_updates": scalar_stats["priority_updates"],
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{touched_edges} frontier edges ({frontier.size} vertices): "
+        f"scalar {scalar_time:.4f}s, vectorized {vector_time:.4f}s, "
+        f"speedup {speedup:.1f}x -> {args.output}"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"bench-kernels: speedup {speedup:.1f}x is below the required "
+            f"{args.min_speedup:.1f}x"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -310,6 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--direction", default="SparsePush", choices=("SparsePush", "DensePull")
     )
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    bench_parser = commands.add_parser(
+        "bench-kernels",
+        help="benchmark the vectorized apply operators vs the scalar "
+        "interpreter and write BENCH_apply.json",
+    )
+    bench_parser.add_argument("--scale", type=int, default=13)
+    bench_parser.add_argument("--edge-factor", type=int, default=16)
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--delta", type=int, default=3)
+    bench_parser.add_argument("--threads", type=int, default=8)
+    bench_parser.add_argument("--repeats", type=int, default=3)
+    bench_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero when the vectorized path is below this speedup",
+    )
+    bench_parser.add_argument("-o", "--output", default="BENCH_apply.json")
+    bench_parser.set_defaults(handler=_cmd_bench_kernels)
 
     return parser
 

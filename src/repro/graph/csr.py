@@ -76,6 +76,10 @@ class CSRGraph:
         self._weights = weights
         self._coordinates = coordinates
         self._in_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Degree arrays are memoized (and frozen): the apply operators ask
+        # for them every round, and the graph is immutable.
+        self._out_degrees: np.ndarray | None = None
+        self._in_degrees: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -126,8 +130,12 @@ class CSRGraph:
         return int(self._indptr[v + 1] - self._indptr[v])
 
     def out_degrees(self) -> np.ndarray:
-        """Array of all out-degrees."""
-        return np.diff(self._indptr)
+        """Array of all out-degrees (memoized, read-only)."""
+        if self._out_degrees is None:
+            degrees = np.diff(self._indptr)
+            degrees.setflags(write=False)
+            self._out_degrees = degrees
+        return self._out_degrees
 
     def in_degree(self, v: int) -> int:
         """In-degree of vertex ``v`` (materializes the in-CSR on first use)."""
@@ -136,9 +144,13 @@ class CSRGraph:
         return int(indptr[v + 1] - indptr[v])
 
     def in_degrees(self) -> np.ndarray:
-        """Array of all in-degrees."""
-        indptr, _, _ = self.in_csr()
-        return np.diff(indptr)
+        """Array of all in-degrees (memoized, read-only)."""
+        if self._in_degrees is None:
+            indptr, _, _ = self.in_csr()
+            degrees = np.diff(indptr)
+            degrees.setflags(write=False)
+            self._in_degrees = degrees
+        return self._in_degrees
 
     # ------------------------------------------------------------------
     # Neighbourhood access

@@ -80,6 +80,8 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "R001": "non-atomic write to shared state under a parallel schedule",
     "R002": "benign race: guarded monotonic test-and-set (note)",
     "R003": "sum update requires clamped fetch_add + deduplication (note)",
+    # V1xx: UDF vectorization pass (batch-kernel classification).
+    "V101": "apply UDF fell back to the scalar interpreter (not vectorizable)",
 }
 
 
@@ -589,6 +591,26 @@ def lint_program(
             active = Schedule()
         report = analyze_races(udf, queue_names, active, source_file=filename)
         found.extend(race_diagnostics(report))
+
+    # UDF vectorization classification: every apply UDF that stays on the
+    # scalar interpreter gets an informational V101 with the located reason.
+    if plan is not None:
+        for vec_report in plan.vectorize.values():
+            if vec_report.vectorizable:
+                continue
+            found.append(
+                Diagnostic(
+                    code="V101",
+                    severity=Severity.INFO,
+                    message=(
+                        f"UDF {vec_report.udf_name!r} falls back to the "
+                        f"scalar interpreter: {vec_report.reason}"
+                    ),
+                    span=vec_report.span.with_file(
+                        vec_report.span.file or filename
+                    ),
+                )
+            )
 
     if not include_info:
         found = [d for d in found if d.severity is not Severity.INFO]

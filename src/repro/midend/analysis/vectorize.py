@@ -1,0 +1,822 @@
+"""UDF vectorization analysis: batch-kernel classification of apply UDFs.
+
+The scalar Python interpreter executes every apply UDF one edge at a time;
+the GraphIt compilers win by specializing restricted UDF shapes into fused
+traversal kernels.  This pass is the Python substrate's version of that
+specialization decision: it pattern-matches the UDF shapes of the paper's
+evaluated algorithms in the typed AST and classifies each apply UDF as
+
+``vectorizable(kind, operands)``
+    The backend may emit a *batch kernel descriptor* for the UDF — numpy
+    expressions over whole edge streams — and the runtime executes the
+    apply with vectorized scatter-reduces instead of a per-edge closure.
+``scalar_fallback``
+    The UDF stays on the scalar interpreter (the oracle path).  Fallback is
+    never an error: the analysis attaches a located reason, surfaced by
+    ``repro lint`` as the informational ``V101`` diagnostic.
+
+Recognized kinds (the six evaluated algorithms plus the unordered baseline
+shape):
+
+``write_min`` / ``write_max``
+    A single ``updatePriorityMin``/``Max`` on the destination whose new
+    value is a pure batch expression (SSSP, wBFS, PPSP, widest path).
+``guarded_write_min``
+    The A* idiom: a guarded monotonic min-write to an auxiliary vector
+    followed by an ``updatePriorityMin`` with a derived priority value.
+``sum_const``
+    A single constant-difference ``updatePrioritySum`` clamped at the
+    current priority (k-core under the plain lazy/eager schedules).
+``sum_hist``
+    The same UDF under ``lazy_constant_sum``: the Figure 10 histogram
+    operator runs one batch update per (vertex, count) pair.
+``plain_min``
+    A guarded monotonic min-write to a plain vector with no queue
+    involvement (whole-edgeset ``apply`` relaxation kernels).
+
+The hard constraint the runtime upholds for every vectorizable kind is
+*bit-identical* ``RuntimeStats`` counters and outputs versus the scalar
+interpreter; the analysis therefore only admits shapes for which the
+sequential-exact batch algorithms in ``runtime_support`` exist, and it
+consults the race classification: any UDF with an ``unordered_racy`` write
+site falls back (such programs are refused at runtime anyway, diagnostic
+``R001``).
+
+Batch expressions are rendered as numpy source strings over the stream
+variables ``src``/``dst``/``weight``/``k_cur`` (and ``new_val`` for the
+guarded kind's priority expression), closing over the generated module's
+globals — the Python backend embeds them verbatim in the kernel descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...lang import ast_nodes as ast
+from ...lang.span import Span
+from ...lang.types import VectorType
+from ..schedule import Schedule
+from .races import RaceClass, analyze_races
+from .udf_analysis import (
+    PriorityUpdate,
+    analyze_constant_sum,
+    find_priority_updates,
+)
+
+__all__ = [
+    "VectorKernel",
+    "VectorizeReport",
+    "analyze_vectorization",
+    "analyze_udf_vectorization",
+]
+
+
+@dataclass
+class VectorKernel:
+    """Everything the backend needs to emit one batch kernel descriptor."""
+
+    kind: str  # write_min | write_max | guarded_write_min | sum_const | sum_hist | plain_min
+    queue_name: str | None = None
+    value: str | None = None  # batch expr for the candidate value
+    guard: str | None = None  # plain_min: source-side guard batch expr
+    priority: str | None = None  # guarded kind: priority expr (uses new_val)
+    aux: str | None = None  # guarded kind: guarded-write target vector
+    target: str | None = None  # plain_min: target vector
+    hazard: tuple[str, ...] = ()  # written vectors the value exprs read at src
+    constant: int | None = None  # sum kinds: the constant difference
+
+
+@dataclass
+class VectorizeReport:
+    """The classification of one apply UDF under one schedule."""
+
+    udf_name: str
+    kernel: VectorKernel | None
+    reason: str
+    span: Span = field(default_factory=Span)
+
+    @property
+    def vectorizable(self) -> bool:
+        return self.kernel is not None
+
+
+class _Fallback(Exception):
+    """Raised inside the matcher to abort to scalar_fallback with a reason."""
+
+    def __init__(self, reason: str, span: Span | None = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.span = span
+
+
+# ----------------------------------------------------------------------
+# Batch expression classification
+# ----------------------------------------------------------------------
+_ARITH_OPS = {"+", "-", "*"}
+_COMPARE_OPS = {"<", ">", "<=", ">=", "==", "!="}
+
+
+class _ExprClassifier:
+    """Renders a UDF expression as a numpy batch expression string.
+
+    Tracks which program vectors the expression reads indexed by the source
+    and destination parameters; the kind matchers use those sets to enforce
+    the safety conditions (destination reads of written vectors are only
+    legal through the structural patterns the runtime handles exactly, and
+    source reads of written vectors become hazard arrays for the restart
+    loop).
+    """
+
+    def __init__(
+        self,
+        src_param: str,
+        dst_param: str,
+        weight_param: str | None,
+        locals_inline: dict[str, ast.Expr],
+        vector_names: set[str],
+        scalar_names: set[str],
+        queue_names: set[str],
+        new_val_name: str | None = None,
+    ):
+        self.src_param = src_param
+        self.dst_param = dst_param
+        self.weight_param = weight_param
+        self.locals_inline = locals_inline
+        self.vector_names = vector_names
+        self.scalar_names = scalar_names
+        self.queue_names = queue_names
+        self.new_val_name = new_val_name
+        self.reads_at_src: set[str] = set()
+        self.reads_at_dst: set[str] = set()
+        self.uses_k: bool = False
+        self._inlining: set[str] = set()
+
+    def classify(self, expression: ast.Expr) -> str:
+        if isinstance(expression, ast.IntLiteral):
+            return repr(expression.value)
+        if isinstance(expression, ast.BoolLiteral):
+            return "True" if expression.value else "False"
+        if isinstance(expression, ast.Name):
+            return self._name(expression)
+        if isinstance(expression, ast.BinaryOp):
+            return self._binary(expression)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self.classify(expression.operand)
+            if expression.operator == "-":
+                return f"(-{operand})"
+            if expression.operator == "not":
+                return f"(~({operand}))"
+            raise _Fallback(
+                f"operator {expression.operator!r} has no batch form",
+                expression.span,
+            )
+        if isinstance(expression, ast.Call):
+            return self._call(expression)
+        if isinstance(expression, ast.Index):
+            return self._index(expression)
+        if isinstance(expression, ast.MethodCall):
+            if (
+                expression.method in ("getCurrentPriority", "get_current_priority")
+                and isinstance(expression.receiver, ast.Name)
+                and expression.receiver.identifier in self.queue_names
+            ):
+                self.uses_k = True
+                return "k_cur"
+            raise _Fallback(
+                f"method call {expression.method!r} has no batch form",
+                expression.span,
+            )
+        raise _Fallback(
+            f"{type(expression).__name__} expression has no batch form",
+            expression.span,
+        )
+
+    def _name(self, expression: ast.Name) -> str:
+        name = expression.identifier
+        if name == self.src_param:
+            return "src"
+        if name == self.dst_param:
+            return "dst"
+        if name == self.weight_param:
+            return "weight"
+        if self.new_val_name is not None and name == self.new_val_name:
+            return "new_val"
+        if name in self.locals_inline:
+            if name in self._inlining:
+                raise _Fallback(
+                    f"local {name!r} is self-referential", expression.span
+                )
+            self._inlining.add(name)
+            try:
+                return self.classify(self.locals_inline[name])
+            finally:
+                self._inlining.discard(name)
+        if name == "INT_MAX" or name in self.scalar_names:
+            return name
+        raise _Fallback(
+            f"reads {name!r}, which is not a parameter, an inlineable local, "
+            f"or a scalar global",
+            expression.span,
+        )
+
+    def _binary(self, expression: ast.BinaryOp) -> str:
+        left = self.classify(expression.left)
+        right = self.classify(expression.right)
+        operator = expression.operator
+        if operator in _ARITH_OPS or operator in _COMPARE_OPS:
+            return f"({left} {operator} {right})"
+        if operator == "and":
+            return f"(({left}) & ({right}))"
+        if operator == "or":
+            return f"(({left}) | ({right}))"
+        raise _Fallback(
+            f"operator {operator!r} has no elementwise batch form",
+            expression.span,
+        )
+
+    def _call(self, expression: ast.Call) -> str:
+        if expression.function in ("min", "max") and len(expression.arguments) == 2:
+            numpy_name = (
+                "np.minimum" if expression.function == "min" else "np.maximum"
+            )
+            left = self.classify(expression.arguments[0])
+            right = self.classify(expression.arguments[1])
+            return f"{numpy_name}({left}, {right})"
+        raise _Fallback(
+            f"call to {expression.function!r} has no batch form",
+            expression.span,
+        )
+
+    def _index(self, expression: ast.Index) -> str:
+        base = expression.base
+        index = expression.index
+        if not (isinstance(base, ast.Name) and base.identifier in self.vector_names):
+            raise _Fallback(
+                "indexed read of something other than a program vector",
+                expression.span,
+            )
+        if not isinstance(index, ast.Name):
+            raise _Fallback(
+                f"vector {base.identifier!r} indexed by a non-parameter "
+                f"expression",
+                expression.span,
+            )
+        if index.identifier == self.src_param:
+            self.reads_at_src.add(base.identifier)
+            return f"{base.identifier}[src]"
+        if index.identifier == self.dst_param:
+            self.reads_at_dst.add(base.identifier)
+            return f"{base.identifier}[dst]"
+        raise _Fallback(
+            f"vector {base.identifier!r} indexed by {index.identifier!r}, "
+            f"which is neither the source nor the destination parameter",
+            expression.span,
+        )
+
+
+# ----------------------------------------------------------------------
+# Program context helpers
+# ----------------------------------------------------------------------
+def _program_vectors(program: ast.Program) -> set[str]:
+    return {
+        const.name
+        for const in program.constants
+        if isinstance(const.declared_type, VectorType)
+    }
+
+
+def _program_scalars(program: ast.Program) -> set[str]:
+    vectors = _program_vectors(program)
+    return {
+        const.name
+        for const in program.constants
+        if const.name not in vectors and not _is_structural(const)
+    }
+
+
+def _is_structural(const: ast.ConstDecl) -> bool:
+    from ...lang.types import EdgeSetType, PriorityQueueType
+
+    return isinstance(const.declared_type, (EdgeSetType, PriorityQueueType))
+
+
+def _queue_constructor(
+    program: ast.Program, queue_name: str
+) -> tuple[str, str] | None:
+    """(direction, priority-vector name) from ``q = new priority_queue(...)``."""
+    for func in program.functions:
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.target, ast.Name)
+                and node.target.identifier == queue_name
+                and isinstance(node.value, ast.New)
+            ):
+                continue
+            arguments = node.value.arguments
+            if len(arguments) < 3:
+                return None
+            direction = arguments[1]
+            vector = arguments[2]
+            if not (
+                isinstance(direction, ast.StringLiteral)
+                and isinstance(vector, ast.Name)
+            ):
+                return None
+            return direction.value, vector.identifier
+    return None
+
+
+def _inlineable_locals(udf: ast.FuncDecl) -> dict[str, ast.Expr]:
+    """Single-assignment locals with initializers, safe to inline."""
+    assigned: set[str] = set()
+    for node in ast.walk(udf):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
+            assigned.add(node.target.identifier)
+    inline: dict[str, ast.Expr] = {}
+    for node in ast.walk(udf):
+        if (
+            isinstance(node, ast.VarDecl)
+            and node.initializer is not None
+            and node.name not in assigned
+        ):
+            inline[node.name] = node.initializer
+    return inline
+
+
+def _flat_statements(
+    body: list[ast.Stmt],
+) -> tuple[list[ast.VarDecl], list[ast.Stmt]]:
+    """Split a flat body into leading-interleaved VarDecls and the rest."""
+    decls: list[ast.VarDecl] = []
+    rest: list[ast.Stmt] = []
+    for statement in body:
+        if isinstance(statement, ast.VarDecl):
+            decls.append(statement)
+        else:
+            rest.append(statement)
+    return decls, rest
+
+
+def _check_scalar_global_writes(
+    udf: ast.FuncDecl, locals_inline: dict[str, ast.Expr], vectors: set[str]
+) -> None:
+    """Any write to a scalar global is a side effect no batch kernel has."""
+    local_names = {name for name, _ in udf.parameters}
+    for node in ast.walk(udf):
+        if isinstance(node, ast.VarDecl):
+            local_names.add(node.name)
+    for node in ast.walk(udf):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
+            name = node.target.identifier
+            if name not in local_names:
+                raise _Fallback(
+                    f"assigns to the scalar global {name!r}, a side effect "
+                    f"outside every recognized batch pattern",
+                    node.span,
+                )
+
+
+def _written_vectors(udf: ast.FuncDecl, update: PriorityUpdate | None) -> set[str]:
+    written: set[str] = set()
+    for node in ast.walk(udf):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.target, ast.Index)
+            and isinstance(node.target.base, ast.Name)
+        ):
+            written.add(node.target.base.identifier)
+    return written
+
+
+# ----------------------------------------------------------------------
+# Kind matchers
+# ----------------------------------------------------------------------
+def _match_priority_udf(
+    udf: ast.FuncDecl,
+    program: ast.Program,
+    queue_names: set[str],
+    schedule: Schedule,
+) -> VectorKernel:
+    """Classify an ``applyUpdatePriority`` UDF, or raise ``_Fallback``."""
+    parameters = [name for name, _ in udf.parameters]
+    if len(parameters) < 2:
+        raise _Fallback("edge UDF needs (src, dst[, weight]) parameters")
+    src_param, dst_param = parameters[0], parameters[1]
+    weight_param = parameters[2] if len(parameters) > 2 else None
+
+    updates = find_priority_updates(udf, queue_names)
+    if len(updates) != 1:
+        raise _Fallback(
+            f"contains {len(updates)} priority updates; exactly one is "
+            f"required for a batch kernel"
+        )
+    update = updates[0]
+    if not (
+        isinstance(update.vertex_arg, ast.Name)
+        and update.vertex_arg.identifier == dst_param
+    ):
+        raise _Fallback(
+            "the priority update does not target the destination parameter",
+            Span.from_node(update.call),
+        )
+    constructor = _queue_constructor(program, update.queue_name)
+    if constructor is None:
+        raise _Fallback(
+            f"could not resolve the constructor of queue "
+            f"{update.queue_name!r} (direction and priority vector unknown)"
+        )
+    direction, priority_vector = constructor
+
+    vectors = _program_vectors(program)
+    scalars = _program_scalars(program)
+    locals_inline = _inlineable_locals(udf)
+    _check_scalar_global_writes(udf, locals_inline, vectors)
+
+    def classifier(new_val_name: str | None = None) -> _ExprClassifier:
+        return _ExprClassifier(
+            src_param,
+            dst_param,
+            weight_param,
+            locals_inline,
+            vectors,
+            scalars,
+            queue_names,
+            new_val_name=new_val_name,
+        )
+
+    if update.op == "sum":
+        if schedule.uses_histogram:
+            kind = "sum_hist"
+        else:
+            kind = "sum_const"
+        info = analyze_constant_sum(udf, queue_names)
+        if info is None:
+            raise _Fallback(
+                "updatePrioritySum is not a single constant-difference "
+                "update clamped at the current priority",
+                Span.from_node(update.call),
+            )
+        if info.constant == 0:
+            raise _Fallback("constant-sum difference is zero (no-op UDF)")
+        decls, rest = _flat_statements(udf.body)
+        if len(rest) != 1 or not isinstance(rest[0], ast.ExprStmt):
+            raise _Fallback(
+                "constant-sum UDF has statements beyond the priority update"
+            )
+        return VectorKernel(
+            kind=kind, queue_name=update.queue_name, constant=info.constant
+        )
+
+    # min/max kinds: direction gating keeps the null-priority sentinel on
+    # the side where the plain comparison already matches the scalar path.
+    if update.op == "min" and direction != "lower_first":
+        raise _Fallback(
+            "updatePriorityMin on a higher_first queue: the null-priority "
+            "sentinel breaks the plain batch comparison"
+        )
+    if update.op == "max" and direction != "higher_first":
+        raise _Fallback(
+            "updatePriorityMax on a lower_first queue: the null-priority "
+            "sentinel breaks the plain batch comparison"
+        )
+
+    decls, rest = _flat_statements(udf.body)
+    if len(rest) == 1 and isinstance(rest[0], ast.ExprStmt):
+        if rest[0].expression is not update.call:
+            raise _Fallback("unrecognized statement alongside the update")
+        # ---- plain write_min / write_max -----------------------------
+        cls = classifier()
+        value = cls.classify(update.value_arg)
+        written = {priority_vector}
+        illegal = cls.reads_at_dst & written
+        if illegal:
+            raise _Fallback(
+                f"the new value reads {sorted(illegal)[0]!r} at the "
+                f"destination, which the kernel itself writes"
+            )
+        hazard = tuple(sorted(cls.reads_at_src & written))
+        return VectorKernel(
+            kind="write_min" if update.op == "min" else "write_max",
+            queue_name=update.queue_name,
+            value=value,
+            hazard=hazard,
+        )
+
+    if len(rest) == 1 and isinstance(rest[0], ast.If):
+        return _match_guarded(
+            rest[0],
+            update,
+            priority_vector,
+            classifier,
+            dst_param,
+            udf,
+        )
+    raise _Fallback("UDF body does not match any recognized batch shape")
+
+
+def _match_guarded(
+    guard_stmt: ast.If,
+    update: PriorityUpdate,
+    priority_vector: str,
+    classifier,
+    dst_param: str,
+    udf: ast.FuncDecl,
+) -> VectorKernel:
+    """The A* shape: ``if v < aux[dst] { aux[dst] = v; pq.updateMin(dst, p) }``."""
+    if update.op != "min":
+        raise _Fallback("guarded batch kernels support min updates only")
+    if guard_stmt.else_body:
+        raise _Fallback("guarded update with an else branch")
+    then_decls, then_rest = _flat_statements(guard_stmt.then_body)
+    if then_decls:
+        raise _Fallback("guarded update declares locals inside the guard")
+    if len(then_rest) != 2:
+        raise _Fallback(
+            "guard body must be exactly the auxiliary write followed by "
+            "the priority update"
+        )
+    assign, update_stmt = then_rest
+    if not (
+        isinstance(assign, ast.Assign)
+        and isinstance(assign.target, ast.Index)
+        and isinstance(assign.target.base, ast.Name)
+        and isinstance(assign.target.index, ast.Name)
+        and assign.target.index.identifier == dst_param
+    ):
+        raise _Fallback(
+            "guard body does not start with a destination-indexed "
+            "vector write"
+        )
+    if not (
+        isinstance(update_stmt, ast.ExprStmt)
+        and update_stmt.expression is update.call
+    ):
+        raise _Fallback("guard body does not end with the priority update")
+    aux = assign.target.base.identifier
+    if aux == priority_vector:
+        raise _Fallback(
+            "guarded write targets the priority vector itself; the "
+            "two-level batch algorithm needs a distinct auxiliary vector"
+        )
+
+    value_cls = classifier()
+    value = value_cls.classify(assign.value)
+    condition = guard_stmt.condition
+    if not (
+        isinstance(condition, ast.BinaryOp)
+        and condition.operator == "<"
+        and isinstance(condition.right, ast.Index)
+        and isinstance(condition.right.base, ast.Name)
+        and condition.right.base.identifier == aux
+        and isinstance(condition.right.index, ast.Name)
+        and condition.right.index.identifier == dst_param
+    ):
+        raise _Fallback(
+            "guard is not the monotonic test `value < aux[dst]` against "
+            "the written vector"
+        )
+    guard_value_cls = classifier()
+    guard_value = guard_value_cls.classify(condition.left)
+    if guard_value != value:
+        raise _Fallback(
+            "the guarded comparison tests a different value than the one "
+            "written"
+        )
+
+    assigned_local = (
+        condition.left.identifier
+        if isinstance(condition.left, ast.Name)
+        else None
+    )
+    priority_cls = classifier(new_val_name=assigned_local)
+    priority = priority_cls.classify(update.value_arg)
+
+    written = {aux, priority_vector}
+    for cls in (value_cls, priority_cls):
+        illegal = cls.reads_at_dst & written
+        if illegal:
+            raise _Fallback(
+                f"a batch expression reads {sorted(illegal)[0]!r} at the "
+                f"destination, which the kernel writes"
+            )
+    hazard = tuple(
+        sorted((value_cls.reads_at_src | priority_cls.reads_at_src) & written)
+    )
+    return VectorKernel(
+        kind="guarded_write_min",
+        queue_name=update.queue_name,
+        value=value,
+        priority=priority,
+        aux=aux,
+        hazard=hazard,
+    )
+
+
+def _match_plain_udf(
+    udf: ast.FuncDecl, program: ast.Program, queue_names: set[str]
+) -> VectorKernel:
+    """Classify a whole-edgeset ``apply`` UDF (no queue), or raise."""
+    parameters = [name for name, _ in udf.parameters]
+    if len(parameters) < 2:
+        raise _Fallback("edge UDF needs (src, dst[, weight]) parameters")
+    src_param, dst_param = parameters[0], parameters[1]
+    weight_param = parameters[2] if len(parameters) > 2 else None
+    if find_priority_updates(udf, queue_names):
+        raise _Fallback("whole-edgeset apply UDF performs priority updates")
+
+    vectors = _program_vectors(program)
+    scalars = _program_scalars(program)
+    locals_inline = _inlineable_locals(udf)
+    _check_scalar_global_writes(udf, locals_inline, vectors)
+
+    def classifier() -> _ExprClassifier:
+        return _ExprClassifier(
+            src_param,
+            dst_param,
+            weight_param,
+            locals_inline,
+            vectors,
+            scalars,
+            queue_names,
+        )
+
+    body = udf.body
+    guard_expr: str | None = None
+    guard_reads_src: set[str] = set()
+    decls, rest = _flat_statements(body)
+    if len(rest) == 1 and isinstance(rest[0], ast.If) and not rest[0].else_body:
+        outer = rest[0]
+        inner_decls, inner_rest = _flat_statements(outer.then_body)
+        if (
+            len(inner_rest) == 1
+            and isinstance(inner_rest[0], ast.If)
+            and _is_min_write(inner_rest[0])
+        ):
+            guard_cls = classifier()
+            guard_expr = guard_cls.classify(outer.condition)
+            if guard_cls.reads_at_dst:
+                raise _Fallback(
+                    "the source guard reads destination-indexed state",
+                    Span.from_node(outer.condition),
+                )
+            guard_reads_src = guard_cls.reads_at_src
+            rest = inner_rest
+        elif _is_min_write(outer):
+            pass  # the single If IS the min-write
+        else:
+            raise _Fallback(
+                "UDF body does not match the guarded min-write shape"
+            )
+    if not (len(rest) == 1 and isinstance(rest[0], ast.If)):
+        raise _Fallback("UDF body does not match the guarded min-write shape")
+    write_if = rest[0]
+    if not _is_min_write(write_if):
+        raise _Fallback("UDF body does not match the guarded min-write shape")
+    assign = write_if.then_body[0]
+    target = assign.target.base.identifier
+    if not (
+        isinstance(assign.target.index, ast.Name)
+        and assign.target.index.identifier == dst_param
+    ):
+        raise _Fallback("min-write is not indexed by the destination")
+    condition = write_if.condition
+    if not (
+        isinstance(condition.right, ast.Index)
+        and isinstance(condition.right.base, ast.Name)
+        and condition.right.base.identifier == target
+        and isinstance(condition.right.index, ast.Name)
+        and condition.right.index.identifier == dst_param
+    ):
+        raise _Fallback(
+            "guard is not the monotonic test `value < target[dst]`"
+        )
+    value_cls = classifier()
+    value = value_cls.classify(assign.value)
+    guard_value_cls = classifier()
+    if guard_value_cls.classify(condition.left) != value:
+        raise _Fallback(
+            "the guarded comparison tests a different value than the one "
+            "written"
+        )
+    written = {target}
+    if value_cls.reads_at_dst & written:
+        raise _Fallback(
+            f"the new value reads {target!r} at the destination outside "
+            f"the guard"
+        )
+    hazard = tuple(
+        sorted((value_cls.reads_at_src | guard_reads_src) & written)
+    )
+    return VectorKernel(
+        kind="plain_min",
+        value=value,
+        guard=guard_expr,
+        target=target,
+        hazard=hazard,
+    )
+
+
+def _is_min_write(statement: ast.Stmt) -> bool:
+    return (
+        isinstance(statement, ast.If)
+        and not statement.else_body
+        and len(statement.then_body) == 1
+        and isinstance(statement.then_body[0], ast.Assign)
+        and isinstance(statement.then_body[0].target, ast.Index)
+        and isinstance(statement.then_body[0].target.base, ast.Name)
+        and isinstance(statement.condition, ast.BinaryOp)
+        and statement.condition.operator == "<"
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def analyze_udf_vectorization(
+    udf: ast.FuncDecl,
+    program: ast.Program,
+    queue_names: set[str],
+    schedule: Schedule,
+    is_priority_apply: bool,
+    source_file: str | None = None,
+) -> VectorizeReport:
+    """Classify one apply UDF; never raises — fallback carries the reason."""
+    span = Span.from_node(udf, file=source_file)
+    # Race gate: only race-free (ordered-safe / seeded-CAS-equivalent)
+    # UDFs vectorize.  Unordered racy programs are refused at runtime.
+    report = analyze_races(udf, queue_names, schedule, source_file=source_file)
+    racy = report.racy_sites
+    if racy:
+        first = racy[0]
+        return VectorizeReport(
+            udf_name=udf.name,
+            kernel=None,
+            reason=(
+                f"race analysis classified the write to {first.target} as "
+                f"unordered_racy (R001); only race-free UDFs vectorize"
+            ),
+            span=first.span,
+        )
+    try:
+        if is_priority_apply:
+            kernel = _match_priority_udf(udf, program, queue_names, schedule)
+        else:
+            kernel = _match_plain_udf(udf, program, queue_names)
+    except _Fallback as fallback:
+        return VectorizeReport(
+            udf_name=udf.name,
+            kernel=None,
+            reason=fallback.reason,
+            span=fallback.span if fallback.span is not None else span,
+        )
+    return VectorizeReport(
+        udf_name=udf.name,
+        kernel=kernel,
+        reason=f"recognized batch shape {kernel.kind!r}",
+        span=span,
+    )
+
+
+def _apply_sites(program: ast.Program):
+    """(udf name, is_priority_apply) for every apply-style call site."""
+    for func in program.functions:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.ExprStmt):
+                continue
+            expression = node.expression
+            if (
+                isinstance(expression, ast.MethodCall)
+                and expression.method in ("applyUpdatePriority", "apply")
+                and expression.arguments
+                and isinstance(expression.arguments[0], ast.Name)
+            ):
+                yield (
+                    expression.arguments[0].identifier,
+                    expression.method == "applyUpdatePriority",
+                )
+
+
+def analyze_vectorization(
+    program: ast.Program,
+    queue_names: set[str],
+    schedule: Schedule,
+    source_file: str | None = None,
+) -> dict[str, VectorizeReport]:
+    """Classify every apply UDF in ``program`` under ``schedule``."""
+    reports: dict[str, VectorizeReport] = {}
+    for udf_name, is_priority in _apply_sites(program):
+        if udf_name in reports:
+            continue
+        udf = program.function(udf_name)
+        if udf is None:
+            continue  # V001 reported by the IR validator
+        reports[udf_name] = analyze_udf_vectorization(
+            udf,
+            program,
+            queue_names,
+            schedule,
+            is_priority_apply=is_priority,
+            source_file=source_file,
+        )
+    return reports

@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ...errors import CompileError, SchedulingError
 from ...lang import ast_nodes as ast
@@ -33,6 +33,7 @@ from ..analysis.udf_analysis import (
     analyze_constant_sum,
     find_priority_updates,
 )
+from ..analysis.vectorize import VectorizeReport, analyze_vectorization
 from ..schedule import Schedule, SchedulingProgram
 from .histogram_transform import build_transformed_udf
 
@@ -66,6 +67,10 @@ class CompilationPlan:
     constant_sum: ConstantSumInfo | None
     transformed_udf: ast.FuncDecl | None
     races: RaceReport | None = None
+    # Per-UDF batch-kernel classification (UDF vectorization pass).  Maps
+    # apply-UDF names to their :class:`VectorizeReport`; non-vectorizable
+    # UDFs carry a located fallback reason surfaced as diagnostic ``V101``.
+    vectorize: dict[str, VectorizeReport] = field(default_factory=dict)
 
     @property
     def label(self) -> str | None:
@@ -182,6 +187,13 @@ def plan_program(
         program, "lowered", schedule=resolved, transformed_udf=transformed
     )
 
+    # UDF vectorization: classify every apply UDF as batch-kernel eligible
+    # or scalar fallback.  The Python backend consumes the kernels; the
+    # fallback reasons feed `repro lint` (V101).
+    vectorize = analyze_vectorization(
+        program, queue_names, resolved, source_file=program.source_file
+    )
+
     return CompilationPlan(
         program=program,
         table=table,
@@ -193,6 +205,7 @@ def plan_program(
         constant_sum=constant_sum,
         transformed_udf=transformed,
         races=races,
+        vectorize=vectorize,
     )
 
 

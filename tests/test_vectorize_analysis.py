@@ -1,0 +1,113 @@
+"""Tests for the UDF vectorization analysis pass and its codegen wiring."""
+
+import pytest
+
+from repro.backend import compile_program
+from repro.lang import ALL_PROGRAMS
+from repro.midend import Schedule
+from repro.midend.analysis.diagnostics import DIAGNOSTIC_CODES, lint_program
+
+LAZY = Schedule(priority_update="lazy")
+
+
+def reports_for(name, schedule=LAZY):
+    return compile_program(ALL_PROGRAMS[name], schedule).plan.vectorize
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name", ["sssp", "wbfs", "ppsp"])
+    def test_sssp_family_is_write_min(self, name):
+        report = reports_for(name)["updateEdge"]
+        assert report.vectorizable
+        assert report.kernel.kind == "write_min"
+        assert report.kernel.value == "(dist[src] + weight)"
+        assert report.kernel.hazard == ("dist",)
+
+    def test_widest_is_write_max(self):
+        report = reports_for("widest")["updateEdge"]
+        assert report.vectorizable
+        assert report.kernel.kind == "write_max"
+        assert report.kernel.value == "np.minimum(width[src], weight)"
+        assert report.kernel.hazard == ("width",)
+
+    def test_astar_is_guarded_write_min(self):
+        report = reports_for("astar")["updateEdge"]
+        assert report.vectorizable
+        kernel = report.kernel
+        assert kernel.kind == "guarded_write_min"
+        assert kernel.aux == "dist"
+        assert kernel.value == "(dist[src] + weight)"
+        assert kernel.priority == "(new_val + h[dst])"
+        assert kernel.hazard == ("dist",)
+
+    def test_kcore_is_sum_const(self):
+        report = reports_for("kcore")["apply_f"]
+        assert report.vectorizable
+        assert report.kernel.kind == "sum_const"
+        assert report.kernel.constant == -1
+
+    def test_kcore_histogram_schedule_is_sum_hist(self):
+        report = reports_for(
+            "kcore", Schedule(priority_update="lazy_constant_sum")
+        )["apply_f"]
+        assert report.vectorizable
+        assert report.kernel.kind == "sum_hist"
+        assert report.kernel.constant == -1
+
+    def test_bellman_ford_falls_back_with_located_reason(self):
+        report = reports_for("bellman_ford")["relax"]
+        assert not report.vectorizable
+        assert report.kernel is None
+        assert "changed" in report.reason
+        assert report.span.line is not None
+
+    def test_setcover_has_no_apply_sites(self):
+        assert reports_for("setcover") == {}
+
+
+class TestCodegenWiring:
+    def test_vectorizable_udf_gets_kernel_descriptor(self):
+        program = compile_program(ALL_PROGRAMS["sssp"], LAZY)
+        assert "kernel=dict(" in program.source_text
+        assert "kind='write_min'" in program.source_text
+
+    def test_fallback_udf_gets_no_kernel_descriptor(self):
+        program = compile_program(ALL_PROGRAMS["bellman_ford"], LAZY)
+        assert "kernel=dict(" not in program.source_text
+
+    def test_eager_operator_gets_kernel_descriptor(self):
+        program = compile_program(
+            ALL_PROGRAMS["sssp"], Schedule(priority_update="eager_with_fusion")
+        )
+        assert "ctx.ordered_process_eager(" in program.source_text
+        assert "kernel=dict(" in program.source_text
+
+    def test_histogram_operator_gets_kernel_descriptor(self):
+        program = compile_program(
+            ALL_PROGRAMS["kcore"], Schedule(priority_update="lazy_constant_sum")
+        )
+        assert "apply_update_priority_histogram" in program.source_text
+        assert "kind='sum_hist'" in program.source_text
+
+
+class TestDiagnostics:
+    def test_v101_is_registered(self):
+        assert "V101" in DIAGNOSTIC_CODES
+        assert "scalar" in DIAGNOSTIC_CODES["V101"]
+
+    def test_lint_reports_fallback_as_info(self):
+        diagnostics = lint_program(
+            ALL_PROGRAMS["bellman_ford"], LAZY, include_info=True
+        )
+        v101 = [d for d in diagnostics if d.code == "V101"]
+        assert len(v101) == 1
+        assert "relax" in v101[0].message
+        assert v101[0].severity.name == "INFO"
+
+    def test_lint_is_quiet_for_vectorizable_programs(self):
+        diagnostics = lint_program(ALL_PROGRAMS["sssp"], LAZY, include_info=True)
+        assert not [d for d in diagnostics if d.code == "V101"]
+
+    def test_info_diagnostics_hidden_by_default(self):
+        diagnostics = lint_program(ALL_PROGRAMS["bellman_ford"], LAZY)
+        assert not [d for d in diagnostics if d.code == "V101"]
