@@ -107,8 +107,12 @@ def run_delta_stepping(
     n = graph.num_vertices
     stats = RuntimeStats(num_threads=schedule.num_threads)
     pool = VirtualThreadPool(
-        schedule.num_threads, schedule.parallelization, schedule.chunk_size
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
     )
+    stats.execution = schedule.execution
     distances = np.full(n, INT_MAX, dtype=np.int64)
     distances[source] = 0
 

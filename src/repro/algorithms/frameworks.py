@@ -101,6 +101,7 @@ def run_framework(
     delta: int = 8,
     num_threads: int = 8,
     fusion_threshold: int = 1000,
+    execution: str = "serial",
 ):
     """Run ``algorithm`` the way ``framework`` would; ``None`` if unsupported.
 
@@ -116,18 +117,33 @@ def run_framework(
 
     if framework == "graphit":
         return _run_graphit(
-            algorithm, graph, source, target, delta, num_threads, fusion_threshold
+            algorithm,
+            graph,
+            source,
+            target,
+            delta,
+            num_threads,
+            fusion_threshold,
+            execution,
         )
     if framework == "gapbs":
         schedule = Schedule(
-            priority_update="eager_no_fusion", delta=delta, num_threads=num_threads
+            priority_update="eager_no_fusion",
+            delta=delta,
+            num_threads=num_threads,
+            execution=execution,
         )
         return _run_delta_family(algorithm, graph, source, target, schedule)
     if framework == "julienne":
-        return _run_julienne(algorithm, graph, source, target, delta, num_threads)
+        return _run_julienne(
+            algorithm, graph, source, target, delta, num_threads, execution
+        )
     if framework == "galois":
         schedule = Schedule(
-            priority_update="eager_no_fusion", delta=delta, num_threads=num_threads
+            priority_update="eager_no_fusion",
+            delta=delta,
+            num_threads=num_threads,
+            execution=execution,
         )
         if algorithm == "sssp":
             return sssp(graph, source, schedule, relaxed_ordering=True)
@@ -151,21 +167,30 @@ def _run_graphit(
     delta: int,
     num_threads: int,
     fusion_threshold: int,
+    execution: str = "serial",
 ):
     fused = Schedule(
         priority_update="eager_with_fusion",
         delta=delta,
         bucket_fusion_threshold=fusion_threshold,
         num_threads=num_threads,
+        execution=execution,
     )
     if algorithm == "kcore":
         return kcore(
             graph,
-            Schedule(priority_update="lazy_constant_sum", num_threads=num_threads),
+            Schedule(
+                priority_update="lazy_constant_sum",
+                num_threads=num_threads,
+                execution=execution,
+            ),
         )
     if algorithm == "setcover":
         return setcover(
-            graph, Schedule(priority_update="lazy", num_threads=num_threads)
+            graph,
+            Schedule(
+                priority_update="lazy", num_threads=num_threads, execution=execution
+            ),
         )
     return _run_delta_family(algorithm, graph, source, target, fused)
 
@@ -195,23 +220,31 @@ def _run_julienne(
     target: int | None,
     delta: int,
     num_threads: int,
+    execution: str = "serial",
 ):
     """Julienne: lazy bucketing with its documented per-round overheads."""
     if algorithm == "kcore":
         result = kcore(
             graph,
-            Schedule(priority_update="lazy_constant_sum", num_threads=num_threads),
+            Schedule(
+                priority_update="lazy_constant_sum",
+                num_threads=num_threads,
+                execution=execution,
+            ),
         )
         _charge_lambda_overhead(result.stats)
         return result
     if algorithm == "setcover":
         result = setcover(
-            graph, Schedule(priority_update="lazy", num_threads=num_threads)
+            graph,
+            Schedule(
+                priority_update="lazy", num_threads=num_threads, execution=execution
+            ),
         )
         _charge_lambda_overhead(result.stats)
         return result
     result = _run_julienne_sssp_family(
-        algorithm, graph, source, target, delta, num_threads
+        algorithm, graph, source, target, delta, num_threads, execution
     )
     _charge_lambda_overhead(result.stats)
     return result
@@ -224,6 +257,7 @@ def _run_julienne_sssp_family(
     target: int | None,
     delta: int,
     num_threads: int,
+    execution: str = "serial",
 ):
     """Lazy Δ-stepping with Julienne's per-round out-degree reduction.
 
@@ -235,11 +269,20 @@ def _run_julienne_sssp_family(
 
     wbfs_delta = 1 if algorithm == "wbfs" else delta
     schedule = Schedule(
-        priority_update="lazy", delta=wbfs_delta, num_threads=num_threads
+        priority_update="lazy",
+        delta=wbfs_delta,
+        num_threads=num_threads,
+        execution=execution,
     )
     n = graph.num_vertices
     stats = RuntimeStats(num_threads=num_threads)
-    pool = VirtualThreadPool(num_threads, schedule.parallelization, schedule.chunk_size)
+    stats.execution = schedule.execution
+    pool = VirtualThreadPool(
+        num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
+    )
     distances = np.full(n, INT_MAX, dtype=np.int64)
     distances[source] = 0
     heuristic = None

@@ -76,8 +76,12 @@ def kcore(graph: CSRGraph, schedule: Schedule | None = None) -> KCoreResult:
     n = graph.num_vertices
     stats = RuntimeStats(num_threads=schedule.num_threads)
     pool = VirtualThreadPool(
-        schedule.num_threads, schedule.parallelization, schedule.chunk_size
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
     )
+    stats.execution = schedule.execution
     degrees = graph.out_degrees().astype(np.int64)
     coreness = np.zeros(n, dtype=np.int64)
     peeled = np.zeros(n, dtype=bool)

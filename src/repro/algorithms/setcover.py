@@ -125,8 +125,12 @@ def setcover(
     rng = np.random.default_rng(seed)
     stats = RuntimeStats(num_threads=schedule.num_threads)
     pool = VirtualThreadPool(
-        schedule.num_threads, schedule.parallelization, schedule.chunk_size
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
     )
+    stats.execution = schedule.execution
 
     covered = np.zeros(n, dtype=bool)
     # Initial ratio: closed-neighbourhood size (degree + 1); all uncovered.

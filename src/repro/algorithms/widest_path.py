@@ -95,8 +95,12 @@ def widest_path(
     n = graph.num_vertices
     stats = RuntimeStats(num_threads=schedule.num_threads)
     pool = VirtualThreadPool(
-        schedule.num_threads, schedule.parallelization, schedule.chunk_size
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
     )
+    stats.execution = schedule.execution
     widths = np.full(n, NULL_PRIORITY_HIGHER, dtype=np.int64)
     widths[source] = _SOURCE_WIDTH
 

@@ -17,6 +17,8 @@ global gather so the work gets redistributed.  The executor drives fusion via
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import PriorityQueueError
@@ -61,6 +63,17 @@ class EagerBucketQueue(AbstractPriorityQueue):
         # rescans every thread's dict on each dequeue.
         self._min_cache: list[int | None] = [None] * self.num_threads
         self._active_thread = 0
+        # The bucket-fusion synchronization contract (Figure 7): the ONLY
+        # lock in the eager queue guards the global bucket advancement —
+        # picking the global minimum order and gathering every thread's
+        # local bucket.  Inserts target a single thread's local bins and
+        # ``pop_local_bucket`` (a fused run) touches only the calling
+        # thread's bins, so neither takes the lock.  Under the parallel
+        # engine all queue mutation is additionally serialized on the
+        # coordinator; the lock is the strategy-faithful contract and
+        # protects direct library users driving the queue from real threads.
+        self._advance_lock = threading.Lock()
+        self.global_advances = 0
 
         if self._initial_vertices.size:
             orders = np.asarray(
@@ -119,22 +132,27 @@ class EagerBucketQueue(AbstractPriorityQueue):
         bucket of that priority into one frontier (Figure 6, line 8).
 
         Costs one global synchronization per call, charged by the executor.
+        The advancement runs under :attr:`_advance_lock` — the single lock
+        site of the eager strategy (Figure 7's contract: no locking inside a
+        fused run, one lock at global bucket advancement).
         """
-        while True:
-            order = self.min_order()
-            if order is None:
-                return np.empty(0, dtype=np.int64)
-            if self._cur_order is not None and order < self._cur_order:
-                # Purely stale bins below the current bucket: drain and drop
-                # them without moving the current priority backwards.
-                self._gather_order(order)
-                continue
-            self._cur_order = order
-            members = self._gather_order(order)
-            live = self._filter_and_mark_live(members, order)
-            if live.size:
-                self.stats.vertices_processed += int(live.size)
-                return live
+        with self._advance_lock:
+            self.global_advances += 1
+            while True:
+                order = self.min_order()
+                if order is None:
+                    return np.empty(0, dtype=np.int64)
+                if self._cur_order is not None and order < self._cur_order:
+                    # Purely stale bins below the current bucket: drain and
+                    # drop them without moving the current priority backwards.
+                    self._gather_order(order)
+                    continue
+                self._cur_order = order
+                members = self._gather_order(order)
+                live = self._filter_and_mark_live(members, order)
+                if live.size:
+                    self.stats.vertices_processed += int(live.size)
+                    return live
 
     def pop_local_bucket(self, thread_id: int, max_size: int) -> np.ndarray | None:
         """Fusion support: pop thread ``thread_id``'s local bucket for the
@@ -143,6 +161,10 @@ class EagerBucketQueue(AbstractPriorityQueue):
         Returns ``None`` when the local bucket is empty or too large (a large
         bucket is left in place so the global gather redistributes it across
         threads — the load-balance threshold of Figure 7, line 16).
+
+        Deliberately takes **no lock**: a fused run reads and writes only the
+        calling thread's local bins, which is the whole point of bucket
+        fusion (synchronization-free processing of small local buckets).
         """
         if self._cur_order is None:
             raise PriorityQueueError("pop_local_bucket before any dequeue")

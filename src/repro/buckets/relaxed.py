@@ -17,6 +17,8 @@ k-core or SetCover; it raises on ``updatePrioritySum``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..errors import PriorityQueueError
@@ -55,6 +57,15 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
         self.slack = int(slack)
         self.chunk_size = int(chunk_size)
         self._bins: dict[int, list[np.ndarray]] = {}
+        # Relaxed synchronization contract: threads run ahead on
+        # approximately-ordered work without a per-priority barrier; the only
+        # synchronization is when the window of open orders moves or a batch
+        # of insertions lands in the shared bins.  One lock guards both.
+        # Under the parallel engine commits are additionally serialized (in
+        # completion order) by the engine's commit lock; this lock keeps the
+        # queue safe for direct library users driving it from real threads.
+        self._window_lock = threading.Lock()
+        self.window_advances = 0
         if self._initial_vertices.size:
             orders = np.asarray(
                 self.order_of_value(self.priority_vector[self._initial_vertices])
@@ -70,28 +81,35 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
         """Pop up to ``chunk_size`` vertices from the ``slack`` smallest
         orders — approximately ordered, duplicates and stale entries kept
         (they are the work-efficiency loss the paper attributes to Galois)."""
-        if not self._bins:
-            return np.empty(0, dtype=np.int64)
-        window = sorted(self._bins)[: self.slack]
-        self._cur_order = window[0]
-        popped: list[np.ndarray] = []
-        budget = self.chunk_size
-        for order in window:
-            chunks = self._bins[order]
-            while chunks and budget > 0:
-                chunk = chunks.pop()
-                if chunk.size > budget:
-                    chunks.append(chunk[budget:])
-                    chunk = chunk[:budget]
-                popped.append(chunk)
-                budget -= chunk.size
-            if not chunks:
-                del self._bins[order]
-            if budget == 0:
-                break
-        members = np.concatenate(popped) if popped else np.empty(0, dtype=np.int64)
-        self.stats.vertices_processed += int(members.size)
-        return members
+        with self._window_lock:
+            if not self._bins:
+                return np.empty(0, dtype=np.int64)
+            window = sorted(self._bins)[: self.slack]
+            if self._cur_order != window[0]:
+                # The priority window moved: this is the only point the
+                # relaxed strategy synchronizes at (charged by the executor).
+                self.window_advances += 1
+            self._cur_order = window[0]
+            popped: list[np.ndarray] = []
+            budget = self.chunk_size
+            for order in window:
+                chunks = self._bins[order]
+                while chunks and budget > 0:
+                    chunk = chunks.pop()
+                    if chunk.size > budget:
+                        chunks.append(chunk[budget:])
+                        chunk = chunk[:budget]
+                    popped.append(chunk)
+                    budget -= chunk.size
+                if not chunks:
+                    del self._bins[order]
+                if budget == 0:
+                    break
+            members = (
+                np.concatenate(popped) if popped else np.empty(0, dtype=np.int64)
+            )
+            self.stats.vertices_processed += int(members.size)
+            return members
 
     def update_priority_min(self, vertex: int, new_value: int) -> bool:
         old = int(self.priority_vector[vertex])
@@ -126,11 +144,15 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
         if vertices.size == 0:
             return
         orders = np.asarray(self.order_of_value(self.priority_vector[vertices]))
-        self.stats.bucket_inserts += int(vertices.size)
-        for order in np.unique(orders):
-            members = vertices[orders == order]
-            self._bins.setdefault(int(order), []).append(members)
+        with self._window_lock:
+            self.stats.bucket_inserts += int(vertices.size)
+            for order in np.unique(orders):
+                members = vertices[orders == order]
+                self._bins.setdefault(int(order), []).append(members)
 
     def _insert(self, vertex: int, order: int) -> None:
-        self.stats.bucket_inserts += 1
-        self._bins.setdefault(order, []).append(np.array([vertex], dtype=np.int64))
+        with self._window_lock:
+            self.stats.bucket_inserts += 1
+            self._bins.setdefault(order, []).append(
+                np.array([vertex], dtype=np.int64)
+            )

@@ -71,6 +71,13 @@ def _add_schedule_arguments(parser: argparse.ArgumentParser) -> None:
         help="edge traversal direction (configApplyDirection)",
     )
     group.add_argument("--threads", type=int, default=8, help="virtual threads")
+    group.add_argument(
+        "--execution",
+        default="serial",
+        choices=("serial", "parallel"),
+        help="run virtual-thread partitions inline (serial, the bit-exact "
+        "oracle) or on real worker threads (parallel) (configExecution)",
+    )
 
 
 def _schedule_from_args(args: argparse.Namespace) -> Schedule:
@@ -81,6 +88,7 @@ def _schedule_from_args(args: argparse.Namespace) -> Schedule:
         num_buckets=args.num_buckets,
         direction=args.direction,
         num_threads=args.threads,
+        execution=getattr(args, "execution", "serial"),
     )
 
 
@@ -368,6 +376,143 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_parallel(args: argparse.Namespace) -> int:
+    """End-to-end benchmark of the parallel execution engine.
+
+    Runs the same compiled program from identical inputs three ways:
+
+    * ``oracle``   — the scalar reference interpreter (``vectorize=False``),
+      the sequential oracle every parallel run is differentially tested
+      against;
+    * ``serial``   — vectorized kernels on the serial execution engine;
+    * ``parallel`` — vectorized kernels driven by the real-thread
+      produce/commit engine at ``--workers`` workers.
+
+    Correctness gates first: the parallel run must be bit-identical to the
+    oracle (output vectors and all deterministic stats counters) or the
+    benchmark aborts.  The headline ratio is parallel vs the scalar oracle —
+    the sequential-baseline methodology of the paper's scalability study
+    (Figure 11).  Parallel vs serial-vectorized is recorded as well; on a
+    single-core container it hovers near 1x (threads cannot mint cores, the
+    engine can only overlap GIL-releasing kernel gathers) and is
+    informational, not gated.
+    """
+    import dataclasses
+    import json
+    import time
+
+    source = ALL_PROGRAMS["sssp"]
+    graph = rmat(args.scale, args.edge_factor, seed=args.seed, weights=(1, 4))
+    # Start from the max-out-degree vertex so the traversal covers the giant
+    # component (R-MAT leaves many low-numbered vertices isolated).
+    start_vertex = int(np.argmax(graph.out_degrees()))
+    base = Schedule(
+        priority_update=args.strategy,
+        delta=args.delta,
+        num_threads=args.workers,
+    )
+    oracle_prog = compile_program(source, base)
+    parallel_prog = compile_program(source, base.with_(execution="parallel"))
+
+    parallel_only = {
+        "execution",
+        "parallel_rounds",
+        "barrier_waits",
+        "barrier_wait_time",
+        "worker_wall_time",
+    }
+
+    def dump(stats):
+        d = dataclasses.asdict(stats)
+        d.pop("_current_work", None)
+        for key in parallel_only:
+            d.pop(key, None)
+        return d
+
+    def run_once(program, vectorize):
+        started = time.perf_counter()
+        result = program.run(
+            ["bench", "-", str(start_vertex)], graph=graph, vectorize=vectorize
+        )
+        return time.perf_counter() - started, result
+
+    # Correctness gate: parallel output and deterministic stats must match
+    # the sequential oracle bit for bit before any timing is trusted.
+    _, oracle_res = run_once(oracle_prog, False)
+    _, parallel_res = run_once(parallel_prog, True)
+    for name, value in oracle_res.globals.items():
+        if isinstance(value, np.ndarray) and not np.array_equal(
+            value, parallel_res.globals[name]
+        ):
+            print(
+                f"bench-parallel: vector {name} diverged from the oracle; "
+                "aborting"
+            )
+            return 1
+    if dump(oracle_res.stats) != dump(parallel_res.stats):
+        print("bench-parallel: stats diverged from the oracle; aborting")
+        return 1
+    if args.workers > 1 and parallel_res.stats.parallel_rounds == 0:
+        print("bench-parallel: the parallel engine never engaged; aborting")
+        return 1
+
+    oracle_time = min(run_once(oracle_prog, False)[0] for _ in range(args.repeats))
+    serial_time = min(run_once(oracle_prog, True)[0] for _ in range(args.repeats))
+    parallel_time = min(
+        run_once(parallel_prog, True)[0] for _ in range(args.repeats)
+    )
+    speedup = oracle_time / parallel_time if parallel_time > 0 else float("inf")
+    vs_serial = serial_time / parallel_time if parallel_time > 0 else float("inf")
+
+    summary = parallel_res.stats.parallel_summary()
+    record = {
+        "benchmark": (
+            f"sssp end-to-end ({args.strategy}, delta={args.delta}, "
+            "parallel engine vs sequential scalar oracle)"
+        ),
+        "graph": {
+            "kind": "rmat",
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "seed": args.seed,
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+        },
+        "strategy": args.strategy,
+        "delta": args.delta,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "oracle_seconds": oracle_time,
+        "serial_vectorized_seconds": serial_time,
+        "parallel_seconds": parallel_time,
+        "speedup_vs_oracle": speedup,
+        "speedup_vs_serial_vectorized": vs_serial,
+        "parallel_rounds": int(parallel_res.stats.parallel_rounds),
+        "barrier_waits": int(parallel_res.stats.barrier_waits),
+        "barrier_wait_seconds": float(parallel_res.stats.barrier_wait_time),
+        "worker_busy_seconds": summary["worker_busy_time"],
+        "outputs_identical": True,
+        "stats_identical": True,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{args.workers} workers on {graph.num_edges} edges: "
+        f"oracle {oracle_time:.4f}s, serial-vectorized {serial_time:.4f}s, "
+        f"parallel {parallel_time:.4f}s; {speedup:.1f}x vs oracle, "
+        f"{vs_serial:.2f}x vs serial-vectorized -> {args.output}"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"bench-parallel: speedup {speedup:.1f}x vs the oracle is below "
+            f"the required {args.min_speedup:.1f}x"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -481,6 +626,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("-o", "--output", default="BENCH_apply.json")
     bench_parser.set_defaults(handler=_cmd_bench_kernels)
+
+    par_parser = commands.add_parser(
+        "bench-parallel",
+        help="benchmark the parallel execution engine end-to-end against the "
+        "sequential scalar oracle and write BENCH_parallel.json",
+    )
+    par_parser.add_argument("--scale", type=int, default=13)
+    par_parser.add_argument("--edge-factor", type=int, default=16)
+    par_parser.add_argument("--seed", type=int, default=0)
+    par_parser.add_argument("--delta", type=int, default=3)
+    par_parser.add_argument("--workers", type=int, default=4)
+    par_parser.add_argument(
+        "--strategy",
+        default="eager_with_fusion",
+        choices=("eager_with_fusion", "eager_no_fusion", "lazy"),
+    )
+    par_parser.add_argument("--repeats", type=int, default=3)
+    par_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero when the parallel engine is below this speedup "
+        "over the sequential scalar oracle",
+    )
+    par_parser.add_argument("-o", "--output", default="BENCH_parallel.json")
+    par_parser.set_defaults(handler=_cmd_bench_parallel)
 
     return parser
 

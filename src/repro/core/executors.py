@@ -27,6 +27,22 @@ Executors are generic over a *relaxer*: a callable
 ``relax(chunk, thread_id) -> work_units`` that processes the out-edges of the
 chunk's vertices and routes priority changes into the queue.  The relaxers
 for min-updates (SSSP/wBFS/PPSP/A*) are built by :func:`make_min_relaxer`.
+
+Real parallelism (PR 3)
+-----------------------
+When the :class:`VirtualThreadPool` is constructed with
+``execution="parallel"``, every executor splits each round into a pure
+*produce* phase (the CSR edge gathers, which read only immutable topology and
+run concurrently on real worker threads — numpy releases the GIL there) and a
+mutating *commit* phase (candidate evaluation, ``np.minimum.at``, queue
+routing, statistics).  For the deterministic strategies the commits are
+replayed in chunk order on the coordinating thread, which makes the committed
+instruction sequence — and therefore the outputs *and every stats counter* —
+bit-identical to ``execution="serial"``.  The relaxed strategy commits in
+completion order under a lock instead (priority inversions allowed).  A
+relaxer advertises the split by exposing a ``gather`` attribute and accepting
+the pre-gathered edge stream via ``prefetched``; relaxers without ``gather``
+fall back to the serial inline loop even under ``execution="parallel"``.
 """
 
 from __future__ import annotations
@@ -94,9 +110,23 @@ def make_min_relaxer(
     eager = isinstance(queue, EagerBucketQueue)
     relaxed = isinstance(queue, RelaxedPriorityQueue)
     priorities = queue.priority_vector
+    # Lazy-style queues grow per-worker private update buffers (Figure 5);
+    # resolved once here so the hot relax closure pays no getattr per chunk.
+    buffer_local = (
+        None if (eager or relaxed) else getattr(queue, "buffer_changed_local", None)
+    )
 
-    def relax(chunk: np.ndarray, thread_id: int) -> int:
-        sources, dests, weights = gather_out_edges(graph, chunk)
+    def gather(chunk: np.ndarray, thread_id: int):
+        # Pure produce phase: reads only the immutable CSR topology/weights,
+        # so it is safe to run concurrently with other produces and with the
+        # coordinator's commits.
+        return gather_out_edges(graph, chunk)
+
+    def relax(chunk: np.ndarray, thread_id: int, prefetched=None) -> int:
+        if prefetched is None:
+            sources, dests, weights = gather_out_edges(graph, chunk)
+        else:
+            sources, dests, weights = prefetched
         if sources.size == 0:
             return 0
         stats.relaxations += int(sources.size)
@@ -114,14 +144,36 @@ def make_min_relaxer(
                 queue.insert_changed_batch(thread_id, changed)
             elif relaxed:
                 queue.insert_changed_batch(changed)
+            elif buffer_local is not None:
+                buffer_local(thread_id, changed)
             else:
                 queue.buffer_changed_batch(changed)
         return int(sources.size) + int(changed.size)
 
+    relax.gather = gather
     return relax
 
 
 StopCondition = Callable[[], bool]
+
+
+def _filter_prefetched(prefetched, live: np.ndarray, num_vertices: int):
+    """Restrict a pre-gathered edge stream to edges whose source is live.
+
+    ``live`` must preserve the chunk's vertex order (it is produced by a
+    boolean mask over the chunk), so the filtered stream is element-for-element
+    identical to what ``gather_out_edges(graph, live)`` would return — the
+    property the bit-exactness contract rests on.
+    """
+    sources, dests, weights = prefetched
+    if live.size == 0:
+        return sources[:0], dests[:0], weights[:0]
+    keep = np.zeros(num_vertices, dtype=bool)
+    keep[live] = True
+    mask = keep[sources]
+    if mask.all():
+        return prefetched
+    return sources[mask], dests[mask], weights[mask]
 
 
 def run_eager(
@@ -142,7 +194,53 @@ def run_eager(
         raise CompileError(
             "thread pool and eager queue disagree on the number of threads"
         )
+    pool.bind_stats(stats)
     degrees = graph.out_degrees()
+    gather = getattr(relax, "gather", None)
+    parallel = pool.is_parallel and gather is not None
+    fused_boxes: list[int] = [0]
+
+    def commit_chunk(chunk: np.ndarray, thread_id: int, prefetched) -> None:
+        """Serial-order commit for one thread's share of the round.
+
+        Runs the thread's initial relaxation *and* its bucket-fusion drain —
+        exactly the slice of work the serial loop body performs for this
+        thread — so replaying commits in chunk order reproduces the serial
+        instruction sequence bit-for-bit.  Only the initial relaxation's edge
+        gather was prefetched concurrently; a fused run's local bucket does
+        not exist until the preceding commit, so its gathers stay on the
+        coordinator (the paper's fused runs need no synchronization either —
+        Figure 7 keeps them entirely thread-local).
+        """
+        if hasattr(queue, "set_thread"):
+            queue.set_thread(thread_id)
+        # Re-filter against the current priority: another thread of this
+        # round may have already improved a vertex past this bucket
+        # (the dist >= Δ * bucket check in GAPBS).
+        live = chunk[
+            np.asarray(queue.order_of_value(queue.priority_vector[chunk]))
+            == queue.current_order
+        ]
+        if prefetched is None:
+            # Serial path, or a legacy relaxer without produce support (such
+            # relaxers may not accept the ``prefetched`` keyword at all).
+            stats.add_thread_work(thread_id, relax(live, thread_id))
+        else:
+            if live.size != chunk.size:
+                prefetched = _filter_prefetched(prefetched, live, graph.num_vertices)
+            stats.add_thread_work(
+                thread_id, relax(live, thread_id, prefetched=prefetched)
+            )
+        if fusion_threshold > 0:
+            # Figure 7, lines 14-20: keep draining this thread's local
+            # bucket for the current priority without synchronizing.
+            while True:
+                local = queue.pop_local_bucket(thread_id, fusion_threshold)
+                if local is None:
+                    break
+                fused_boxes[0] += 1
+                stats.add_thread_work(thread_id, relax(local, thread_id))
+
     while True:
         frontier = queue.dequeue_ready_set()
         if frontier.size == 0:
@@ -150,31 +248,16 @@ def run_eager(
         if should_stop is not None and should_stop():
             break
         stats.begin_round()
-        fused = 0
+        fused_boxes[0] = 0
         chunks = pool.partition(frontier, degrees=degrees[frontier])
-        for thread_id, chunk in enumerate(chunks):
-            if chunk.size == 0:
-                continue
-            if hasattr(queue, "set_thread"):
-                queue.set_thread(thread_id)
-            # Re-filter against the current priority: another thread of this
-            # round may have already improved a vertex past this bucket
-            # (the dist >= Δ * bucket check in GAPBS).
-            live = chunk[
-                np.asarray(queue.order_of_value(queue.priority_vector[chunk]))
-                == queue.current_order
-            ]
-            stats.add_thread_work(thread_id, relax(live, thread_id))
-            if fusion_threshold > 0:
-                # Figure 7, lines 14-20: keep draining this thread's local
-                # bucket for the current priority without synchronizing.
-                while True:
-                    local = queue.pop_local_bucket(thread_id, fusion_threshold)
-                    if local is None:
-                        break
-                    fused += 1
-                    stats.add_thread_work(thread_id, relax(local, thread_id))
-        stats.end_round(syncs=1, fused=fused)
+        if parallel:
+            pool.run_round(chunks, gather, commit_chunk, ordered=True)
+        else:
+            for thread_id, chunk in enumerate(chunks):
+                if chunk.size == 0:
+                    continue
+                commit_chunk(chunk, thread_id, None)
+        stats.end_round(syncs=1, fused=fused_boxes[0])
 
 
 def run_lazy(
@@ -195,7 +278,14 @@ def run_lazy(
     per-round out-degree reduction for the direction optimization.
     """
     stats.num_threads = pool.num_threads
+    pool.bind_stats(stats)
     degrees = graph.out_degrees()
+    gather = getattr(relax, "gather", None)
+    parallel = pool.is_parallel and gather is not None
+
+    def commit_chunk(chunk: np.ndarray, thread_id: int, prefetched) -> None:
+        stats.add_thread_work(thread_id, relax(chunk, thread_id, prefetched=prefetched))
+
     while True:
         frontier = queue.dequeue_ready_set()
         if frontier.size == 0:
@@ -206,9 +296,14 @@ def run_lazy(
         if round_overhead is not None:
             _charge_evenly(stats, pool.num_threads, round_overhead(frontier))
         chunks = pool.partition(frontier, degrees=degrees[frontier])
-        for thread_id, chunk in enumerate(chunks):
-            if chunk.size:
-                stats.add_thread_work(thread_id, relax(chunk, thread_id))
+        if parallel:
+            # Fig. 5's round protocol: private produces, then a barrier, then
+            # the reduction/commit — the two syncs charged below.
+            pool.run_round(chunks, gather, commit_chunk, ordered=True)
+        else:
+            for thread_id, chunk in enumerate(chunks):
+                if chunk.size:
+                    stats.add_thread_work(thread_id, relax(chunk, thread_id))
         stats.end_round(syncs=2)
 
 
@@ -241,9 +336,18 @@ def make_min_relaxer_pull(
     from ..runtime.frontier import gather_in_edges
 
     priorities = queue.priority_vector
+    buffer_local = getattr(queue, "buffer_changed_local", None)
 
-    def relax(dest_chunk: np.ndarray, thread_id: int) -> int:
-        sources, dests, weights = gather_in_edges(graph, dest_chunk)
+    def gather(dest_chunk: np.ndarray, thread_id: int):
+        # Pure produce phase (in-edge topology only); the frontier-map test
+        # and all distance reads happen in the commit below.
+        return gather_in_edges(graph, dest_chunk)
+
+    def relax(dest_chunk: np.ndarray, thread_id: int, prefetched=None) -> int:
+        if prefetched is None:
+            sources, dests, weights = gather_in_edges(graph, dest_chunk)
+        else:
+            sources, dests, weights = prefetched
         if sources.size == 0:
             return 0
         stats.relaxations += int(sources.size)
@@ -262,9 +366,13 @@ def make_min_relaxer_pull(
             stats.priority_updates += int(changed.size)
             if heuristic is not None:
                 priorities[changed] = distances[changed] + heuristic[changed]
-            queue.buffer_changed_batch(changed)
+            if buffer_local is not None:
+                buffer_local(thread_id, changed)
+            else:
+                queue.buffer_changed_batch(changed)
         return int(on_frontier.size) + int(changed.size)
 
+    relax.gather = gather
     return relax
 
 
@@ -285,8 +393,17 @@ def run_lazy_pull(
     shared with the relaxer.
     """
     stats.num_threads = pool.num_threads
+    pool.bind_stats(stats)
     all_vertices = np.arange(graph.num_vertices, dtype=np.int64)
     in_degrees = graph.in_degrees()
+    gather = getattr(relax_pull, "gather", None)
+    parallel = pool.is_parallel and gather is not None
+
+    def commit_chunk(chunk: np.ndarray, thread_id: int, prefetched) -> None:
+        stats.add_thread_work(
+            thread_id, relax_pull(chunk, thread_id, prefetched=prefetched)
+        )
+
     while True:
         frontier = queue.dequeue_ready_set()
         if frontier.size == 0:
@@ -297,9 +414,12 @@ def run_lazy_pull(
         frontier_map[frontier] = True
         stats.begin_round()
         chunks = pool.partition(all_vertices, degrees=in_degrees)
-        for thread_id, chunk in enumerate(chunks):
-            if chunk.size:
-                stats.add_thread_work(thread_id, relax_pull(chunk, thread_id))
+        if parallel:
+            pool.run_round(chunks, gather, commit_chunk, ordered=True)
+        else:
+            for thread_id, chunk in enumerate(chunks):
+                if chunk.size:
+                    stats.add_thread_work(thread_id, relax_pull(chunk, thread_id))
         stats.end_round(syncs=2)
 
 
@@ -322,6 +442,8 @@ def run_lazy_histogram(
     record results (k-core stores coreness = current priority).
     """
     stats.num_threads = pool.num_threads
+    pool.bind_stats(stats)
+    degrees = graph.out_degrees()
     while True:
         bucket = queue.dequeue_ready_set()
         if bucket.size == 0:
@@ -334,7 +456,29 @@ def run_lazy_histogram(
         stats.begin_round()
         if round_overhead is not None:
             _charge_evenly(stats, pool.num_threads, round_overhead(bucket))
-        _, neighbors, _ = gather_out_edges(graph, bucket)
+        if pool.is_parallel:
+            # Gather each thread's share of the bucket's out-neighbours
+            # concurrently (pure topology reads), then reduce once at the
+            # barrier.  The histogram is a multiset reduction (np.unique),
+            # so per-chunk concatenation order does not affect the counts —
+            # the sequential oracle's results are reproduced exactly.
+            chunks = pool.partition(bucket, degrees=degrees[bucket])
+            gathered: list[np.ndarray] = []
+
+            def produce(chunk: np.ndarray, thread_id: int) -> np.ndarray:
+                return gather_out_edges(graph, chunk)[1]
+
+            def collect(chunk: np.ndarray, thread_id: int, part: np.ndarray) -> None:
+                gathered.append(part)
+
+            pool.run_round(chunks, produce, collect, ordered=True)
+            neighbors = (
+                np.concatenate(gathered)
+                if gathered
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            _, neighbors, _ = gather_out_edges(graph, bucket)
         stats.relaxations += int(neighbors.size)
         vertices, counts = histogram_counts(neighbors, stats)
         queue.apply_histogram_updates(vertices, counts, constant, current_priority)
@@ -362,7 +506,14 @@ def run_relaxed(
     are processed), which the relaxation counters expose.
     """
     stats.num_threads = pool.num_threads
+    pool.bind_stats(stats)
     degrees = graph.out_degrees()
+    gather = getattr(relax, "gather", None)
+    parallel = pool.is_parallel and gather is not None
+
+    def commit_chunk(chunk: np.ndarray, thread_id: int, prefetched) -> None:
+        stats.add_thread_work(thread_id, relax(chunk, thread_id, prefetched=prefetched))
+
     previous_order: int | None = None
     rounds_since_sync = 0
     while True:
@@ -373,9 +524,15 @@ def run_relaxed(
             break
         stats.begin_round()
         chunks = pool.partition(frontier, degrees=degrees[frontier])
-        for thread_id, chunk in enumerate(chunks):
-            if chunk.size:
-                stats.add_thread_work(thread_id, relax(chunk, thread_id))
+        if parallel:
+            # Galois emulation: no per-round commit order — commits apply in
+            # completion order under the engine's lock, so priority
+            # inversions across workers are possible (and admissible).
+            pool.run_round(chunks, gather, commit_chunk, ordered=False)
+        else:
+            for thread_id, chunk in enumerate(chunks):
+                if chunk.size:
+                    stats.add_thread_work(thread_id, relax(chunk, thread_id))
         # A synchronization is charged when the priority window advances and
         # periodically for distributed termination detection (Galois'
         # scheduler is cheap but not free).

@@ -66,6 +66,7 @@ def run_cell(
     trials: int = 2,
     num_threads: int = 8,
     delta: int | None = None,
+    execution: str = "serial",
 ) -> Measurement | None:
     """Run one cell; ``None`` when the framework lacks the algorithm or the
     dataset lacks what the algorithm needs (A* off road graphs)."""
@@ -83,6 +84,7 @@ def run_cell(
 
     total_wall = 0.0
     merged = RuntimeStats(num_threads=num_threads)
+    merged.execution = execution
     for graph, source, target in workloads:
         started = time.perf_counter()
         result = run_framework(
@@ -93,10 +95,21 @@ def run_cell(
             target=target,
             delta=delta,
             num_threads=num_threads,
+            execution=execution,
         )
         total_wall += time.perf_counter() - started
         merged.merge(result.stats)
     runs = len(workloads)
+    extra: dict = {}
+    if execution == "parallel":
+        # Real-thread engine engaged: surface its per-run profile so the
+        # scalability drivers (Figure 11) can report barrier overheads.
+        extra = {
+            "execution": execution,
+            "parallel_rounds": merged.parallel_rounds / runs,
+            "barrier_waits": merged.barrier_waits / runs,
+            "barrier_wait_time": merged.barrier_wait_time / runs,
+        }
     return Measurement(
         framework=framework,
         algorithm=algorithm,
@@ -106,6 +119,7 @@ def run_cell(
         runs=runs,
         rounds=merged.rounds / runs,
         relaxations=merged.relaxations / runs,
+        extra=extra,
     )
 
 
@@ -115,6 +129,7 @@ def build_matrix(
     dataset_names: tuple[str, ...],
     trials: int = 2,
     num_threads: int = 8,
+    execution: str = "serial",
 ) -> dict[tuple[str, str, str], Measurement | None]:
     """All requested cells, keyed by (framework, algorithm, dataset)."""
     for framework in frameworks:
@@ -128,7 +143,12 @@ def build_matrix(
         for dataset in dataset_names:
             for framework in frameworks:
                 matrix[(framework, algorithm, dataset)] = run_cell(
-                    framework, algorithm, dataset, trials, num_threads
+                    framework,
+                    algorithm,
+                    dataset,
+                    trials,
+                    num_threads,
+                    execution=execution,
                 )
     return matrix
 

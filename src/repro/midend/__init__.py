@@ -1,6 +1,7 @@
 """Midend: scheduling language, program analyses, and transformations."""
 
 from .schedule import (
+    EXECUTION_MODES,
     PRIORITY_UPDATE_STRATEGIES,
     TRAVERSAL_DIRECTIONS,
     Schedule,
@@ -12,4 +13,5 @@ __all__ = [
     "SchedulingProgram",
     "PRIORITY_UPDATE_STRATEGIES",
     "TRAVERSAL_DIRECTIONS",
+    "EXECUTION_MODES",
 ]

@@ -369,6 +369,19 @@ def _dead_knob_rules():
             lambda s: s.parallelization == "static-vertex-parallel",
             "chunk_size only applies to the dynamic parallelization policies",
         ),
+        (
+            "execution",
+            lambda s: s.execution == "parallel" and s.num_threads == 1,
+            "execution=parallel with num_threads=1 never engages the "
+            "thread-backed engine (single-worker rounds fall back to the "
+            "serial inline loop)",
+        ),
+        (
+            "num_threads",
+            lambda s: s.num_threads == 1 and s.execution == "parallel",
+            "num_threads=1 disables both work partitioning and the parallel "
+            "engine the schedule requests",
+        ),
     )
 
 

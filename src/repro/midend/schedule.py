@@ -25,11 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..errors import SchedulingError
+from ..runtime.parallel import EXECUTION_MODES
 from ..runtime.threads import PARALLELIZATION_POLICIES
 
 __all__ = [
     "PRIORITY_UPDATE_STRATEGIES",
     "TRAVERSAL_DIRECTIONS",
+    "EXECUTION_MODES",
     "Schedule",
     "SchedulingProgram",
 ]
@@ -72,6 +74,12 @@ class Schedule:
     chunk_size:
         Work-chunk granularity for dynamic policies (OpenMP's
         ``schedule(dynamic, 64)``).
+    execution:
+        ``serial`` runs the virtual-thread partitions inline (the bit-exact
+        historical behaviour and the differential-test oracle); ``parallel``
+        runs them on real worker threads via the
+        :class:`~repro.runtime.parallel.ParallelExecutionEngine`
+        (``configExecution``).
     """
 
     priority_update: str = "eager_no_fusion"
@@ -82,6 +90,7 @@ class Schedule:
     parallelization: str = "dynamic-vertex-parallel"
     num_threads: int = 8
     chunk_size: int = 64
+    execution: str = "serial"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -115,6 +124,11 @@ class Schedule:
             raise SchedulingError("num_threads must be >= 1")
         if self.chunk_size < 1:
             raise SchedulingError("chunk_size must be >= 1")
+        if self.execution not in EXECUTION_MODES:
+            raise SchedulingError(
+                f"unknown execution mode {self.execution!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
         if self.is_eager and self.direction != "SparsePush":
             # Section 4.2: direction optimization combines with the *lazy*
             # priority update schedules; the eager runtime is push-only.
@@ -202,6 +216,9 @@ class SchedulingProgram:
     def config_chunk_size(self, label: str, config: int | str) -> "SchedulingProgram":
         return self._update(label, chunk_size=self._parse_int(config, "chunk_size"))
 
+    def config_execution(self, label: str, config: str) -> "SchedulingProgram":
+        return self._update(label, execution=config)
+
     # CamelCase aliases so paper schedules paste directly.
     configApplyPriorityUpdate = config_apply_priority_update
     configApplyPriorityUpdateDelta = config_apply_priority_update_delta
@@ -211,6 +228,7 @@ class SchedulingProgram:
     configApplyParallelization = config_apply_parallelization
     configNumThreads = config_num_threads
     configChunkSize = config_chunk_size
+    configExecution = config_execution
 
     # ------------------------------------------------------------------
     # Lookup

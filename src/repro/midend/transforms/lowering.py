@@ -50,6 +50,7 @@ _SCHEDULE_COMMANDS = {
     "configApplyParallelization": "config_apply_parallelization",
     "configNumThreads": "config_num_threads",
     "configChunkSize": "config_chunk_size",
+    "configExecution": "config_execution",
 }
 
 

@@ -10,6 +10,7 @@ from .frontier import (
     output_buffer_offsets,
 )
 from .histogram import apply_constant_sum, histogram_counts
+from .parallel import EXECUTION_MODES, ParallelExecutionEngine, shutdown_executors
 from .stats import DEFAULT_COST_MODEL, CostModel, RuntimeStats
 from .threads import PARALLELIZATION_POLICIES, VirtualThreadPool
 
@@ -20,6 +21,9 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "VirtualThreadPool",
     "PARALLELIZATION_POLICIES",
+    "ParallelExecutionEngine",
+    "EXECUTION_MODES",
+    "shutdown_executors",
     "TOMBSTONE",
     "output_buffer_offsets",
     "compact_frontier",

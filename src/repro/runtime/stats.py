@@ -74,6 +74,15 @@ class RuntimeStats:
     vertices_processed: int = 0
     max_work_per_round: list[int] = field(default_factory=list)
     total_work_per_round: list[int] = field(default_factory=list)
+    # --- real-parallel observables (PR 3) -----------------------------
+    # All of these stay at their defaults under ``execution=serial`` so
+    # serial stat dumps remain byte-identical across releases (the
+    # differential tests compare ``dataclasses.asdict`` dumps).
+    execution: str = "serial"
+    parallel_rounds: int = 0
+    barrier_waits: int = 0
+    barrier_wait_time: float = 0.0
+    worker_wall_time: dict[int, float] = field(default_factory=dict)
     _current_work: list[int] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -112,6 +121,24 @@ class RuntimeStats:
         self.max_work_per_round.append(max(self._current_work, default=0))
         self.total_work_per_round.append(sum(self._current_work))
         self._current_work = None
+
+    def record_parallel_round(
+        self, worker_times: dict[int, float], barrier_wait: float
+    ) -> None:
+        """Record one real-parallel round's wall-time observables.
+
+        ``worker_times`` maps virtual-thread id to the wall-clock seconds its
+        produce phase spent on a real worker thread; ``barrier_wait`` is how
+        long the coordinator blocked at the round barrier.  Only the parallel
+        engine calls this, so serial runs never populate these fields.
+        """
+        self.parallel_rounds += 1
+        self.barrier_waits += 1
+        self.barrier_wait_time += float(barrier_wait)
+        for thread_id, seconds in worker_times.items():
+            self.worker_wall_time[thread_id] = (
+                self.worker_wall_time.get(thread_id, 0.0) + float(seconds)
+            )
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -155,6 +182,25 @@ class RuntimeStats:
         self.vertices_processed += other.vertices_processed
         self.max_work_per_round.extend(other.max_work_per_round)
         self.total_work_per_round.extend(other.total_work_per_round)
+        self.parallel_rounds += other.parallel_rounds
+        self.barrier_waits += other.barrier_waits
+        self.barrier_wait_time += other.barrier_wait_time
+        for thread_id, seconds in other.worker_wall_time.items():
+            self.worker_wall_time[thread_id] = (
+                self.worker_wall_time.get(thread_id, 0.0) + seconds
+            )
+
+    def parallel_summary(self) -> dict[str, float]:
+        """Headline numbers for the real-parallel engine (zeros when serial)."""
+        worker_busy = sum(self.worker_wall_time.values())
+        return {
+            "execution_workers": self.num_threads,
+            "parallel_rounds": self.parallel_rounds,
+            "barrier_waits": self.barrier_waits,
+            "barrier_wait_time": self.barrier_wait_time,
+            "worker_busy_time": worker_busy,
+            "max_worker_busy_time": max(self.worker_wall_time.values(), default=0.0),
+        }
 
     def summary(self) -> dict[str, float]:
         """A flat dictionary of the headline numbers, for reports."""

@@ -342,6 +342,37 @@ class TestDiagnosticCodes:
         )
         assert [d.code for d in diags] == ["S002"]
 
+    def test_s002_parallel_execution_dead_at_one_thread(self):
+        """execution=parallel can never engage a single-worker engine."""
+        scheduling = (
+            SchedulingProgram()
+            .config_execution("s1", "parallel")
+            .config_num_threads("s1", 1)
+        )
+        diags = check_schedule_compat(parse(ALL_PROGRAMS["sssp"]), scheduling)
+        assert [d.code for d in diags] == ["S002", "S002"]
+        messages = " | ".join(d.message for d in diags)
+        assert "execution" in messages
+        assert "num_threads" in messages
+        assert all(d.severity is Severity.WARNING for d in diags)
+
+    def test_s002_parallel_execution_live_with_workers(self):
+        """The same knobs are NOT dead once real workers exist."""
+        scheduling = (
+            SchedulingProgram()
+            .config_execution("s1", "parallel")
+            .config_num_threads("s1", 4)
+        )
+        diags = check_schedule_compat(parse(ALL_PROGRAMS["sssp"]), scheduling)
+        assert diags == []
+
+    def test_s002_num_threads_live_under_serial_simulation(self):
+        """num_threads still drives virtual partitioning in serial mode, so
+        configuring it without the parallel engine is not a dead knob."""
+        scheduling = SchedulingProgram().config_num_threads("s1", 1)
+        diags = check_schedule_compat(parse(ALL_PROGRAMS["sssp"]), scheduling)
+        assert diags == []
+
     def test_s003_infeasible_inline_schedule(self):
         source = ALL_PROGRAMS["sssp"] + (
             "\nschedule:\n"

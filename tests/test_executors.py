@@ -175,3 +175,95 @@ class TestRunRelaxed:
         relax = make_min_relaxer(graph, distances, queue, stats)
         run_relaxed(graph, queue, relax, pool, stats)
         assert stats.global_syncs < stats.rounds
+
+
+class TestPartitionEdgeCases:
+    """Regression tests for the VirtualThreadPool.partition fixes that came
+    with the real parallel engine: empty frontiers, frontiers smaller than
+    one chunk, and degenerate degree distributions under the edge-aware
+    policy."""
+
+    POLICIES = (
+        "static-vertex-parallel",
+        "dynamic-vertex-parallel",
+        "edge-aware-dynamic-vertex-parallel",
+    )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("threads", (1, 3, 8))
+    def test_empty_frontier_uniform_shape(self, policy, threads):
+        pool = VirtualThreadPool(threads, policy)
+        empty = np.empty(0, dtype=np.int64)
+        parts = pool.partition(empty, degrees=empty)
+        assert len(parts) == threads
+        for part in parts:
+            assert part.size == 0
+            assert part.dtype == np.int64
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_partition_preserves_items_in_order(self, policy):
+        items = np.arange(100, 123, dtype=np.int64)
+        degrees = (items * 7) % 5
+        pool = VirtualThreadPool(4, policy, chunk_size=3)
+        parts = pool.partition(items, degrees=degrees)
+        assert len(parts) == 4
+        assert np.array_equal(np.concatenate(parts), items) or np.array_equal(
+            np.sort(np.concatenate(parts)), items
+        )
+        # No item lost, none duplicated.
+        assert sum(p.size for p in parts) == items.size
+
+    def test_chunk_size_larger_than_frontier_spreads(self):
+        """A frontier smaller than one chunk used to land entirely on thread
+        0; it must now spread across the pool."""
+        pool = VirtualThreadPool(4, "dynamic-vertex-parallel", chunk_size=1024)
+        items = np.arange(8, dtype=np.int64)
+        parts = pool.partition(items)
+        nonempty = [p for p in parts if p.size]
+        assert len(nonempty) == 4
+        assert max(p.size for p in nonempty) == 2
+
+    def test_single_item_frontier(self):
+        pool = VirtualThreadPool(4, "dynamic-vertex-parallel", chunk_size=64)
+        parts = pool.partition(np.array([42], dtype=np.int64))
+        assert [p.size for p in parts] == [1, 0, 0, 0]
+        assert parts[0][0] == 42
+
+    def test_large_frontier_keeps_historical_dealing(self):
+        """Frontiers bigger than chunk_size must keep the historical
+        round-robin dealing bit-for-bit (stats invariance across PRs)."""
+        pool = VirtualThreadPool(2, "dynamic-vertex-parallel", chunk_size=2)
+        items = np.arange(10, dtype=np.int64)
+        parts = pool.partition(items)
+        assert np.array_equal(parts[0], [0, 1, 4, 5, 8, 9])
+        assert np.array_equal(parts[1], [2, 3, 6, 7])
+
+    def test_edge_aware_all_zero_degrees_even_split(self):
+        """An all-zero-degree frontier must degenerate to an even contiguous
+        split, not a skewed one."""
+        pool = VirtualThreadPool(4, "edge-aware-dynamic-vertex-parallel")
+        items = np.arange(8, dtype=np.int64)
+        parts = pool.partition(items, degrees=np.zeros(8, dtype=np.int64))
+        assert [p.size for p in parts] == [2, 2, 2, 2]
+
+    def test_edge_aware_hub_rebalances(self):
+        """A hub vertex blowing one thread's budget must not strand the
+        remaining threads without work."""
+        pool = VirtualThreadPool(4, "edge-aware-dynamic-vertex-parallel")
+        items = np.arange(4, dtype=np.int64)
+        degrees = np.array([100, 0, 0, 0], dtype=np.int64)
+        parts = pool.partition(items, degrees=degrees)
+        assert [p.size for p in parts] == [1, 1, 1, 1]
+
+    def test_edge_aware_fewer_items_than_threads(self):
+        pool = VirtualThreadPool(8, "edge-aware-dynamic-vertex-parallel")
+        items = np.array([5, 9], dtype=np.int64)
+        parts = pool.partition(items, degrees=np.array([3, 4], dtype=np.int64))
+        assert len(parts) == 8
+        assert sum(p.size for p in parts) == 2
+        assert np.array_equal(np.concatenate(parts), items)
+
+    def test_edge_aware_requires_degrees(self):
+        pool = VirtualThreadPool(2, "edge-aware-dynamic-vertex-parallel")
+        with pytest.raises(Exception):
+            pool.partition(np.arange(4, dtype=np.int64))

@@ -1,0 +1,220 @@
+"""Differential tests: the parallel execution engine vs the sequential oracle.
+
+Every compiled program run under ``execution="parallel"`` (real
+``concurrent.futures`` workers driving the produce/commit round protocol)
+must be **bit-identical** to the scalar reference interpreter
+(``vectorize=False``) run from the same inputs — output vectors AND every
+deterministic ``RuntimeStats`` counter — for the deterministic strategies
+(eager, eager+fusion, lazy, lazy-constant-sum).  The relaxed (Galois-style)
+strategy commits in completion order, so only its *outputs* are pinned (the
+algorithms it supports converge to a unique fixpoint); its work counters
+are allowed to differ.
+
+The matrix: six algorithms x the strategies each supports x {1, 2, 4, 8}
+workers x weighted/unweighted inputs.  The oracle is recomputed at the same
+``num_threads`` as the parallel run because partitioning (and therefore
+per-round work accounting) follows the thread count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import ppsp, sssp
+from repro.backend.program import compile_program
+from repro.graph.generators import rmat, road_grid
+from repro.lang.programs import ALL_PROGRAMS
+from repro.midend.schedule import Schedule
+
+WORKERS = (1, 2, 4, 8)
+
+# Stats fields that only the parallel engine populates; everything else must
+# match the oracle exactly.
+PARALLEL_ONLY = {
+    "execution",
+    "parallel_rounds",
+    "barrier_waits",
+    "barrier_wait_time",
+    "worker_wall_time",
+}
+
+
+def deterministic_stats(stats) -> dict:
+    dump = dataclasses.asdict(stats)
+    dump.pop("_current_work", None)
+    for key in PARALLEL_ONLY:
+        dump.pop(key, None)
+    return dump
+
+
+# ----------------------------------------------------------------------
+# Inputs (module-scoped: built once).
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def weighted():
+    return rmat(8, 8, seed=3, weights=(1, 4))
+
+
+@pytest.fixture(scope="module")
+def unweighted():
+    return rmat(8, 8, seed=3, weights=None)
+
+
+@pytest.fixture(scope="module")
+def symmetric(unweighted):
+    return unweighted.symmetrized()
+
+
+@pytest.fixture(scope="module")
+def road():
+    return road_grid(12, 12, seed=5)
+
+
+def _heuristic_extern(ctx, dst_vertex):
+    coords = ctx.globals["edges"].coordinates
+    h = ctx.globals["h"]
+    d = np.abs(coords - coords[int(dst_vertex)]).sum(axis=1)
+    h[:] = d.astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Core differential driver.
+# ----------------------------------------------------------------------
+
+
+def run_pair(source, schedule, args, graph, externs=None):
+    """Run the scalar oracle and the parallel engine from identical inputs."""
+    oracle_prog = compile_program(source, schedule)
+    oracle = oracle_prog.run(
+        list(args), graph=graph, extern_functions=externs, vectorize=False
+    )
+    parallel_prog = compile_program(source, schedule.with_(execution="parallel"))
+    parallel = parallel_prog.run(
+        list(args), graph=graph, extern_functions=externs, vectorize=True
+    )
+    return oracle, parallel
+
+
+def assert_bit_identical(oracle, parallel, workers):
+    for name, value in oracle.globals.items():
+        if isinstance(value, np.ndarray):
+            assert np.array_equal(value, parallel.globals[name]), (
+                f"vector {name} diverged at {workers} workers"
+            )
+    assert deterministic_stats(oracle.stats) == deterministic_stats(
+        parallel.stats
+    ), f"stats diverged at {workers} workers"
+    # The engine's own profile must be coherent: one barrier per recorded
+    # parallel round, and no parallel rounds at one worker (inline fallback).
+    assert parallel.stats.execution == "parallel"
+    assert parallel.stats.barrier_waits == parallel.stats.parallel_rounds
+    if workers == 1:
+        assert parallel.stats.parallel_rounds == 0
+
+
+# (program, strategy, graph fixture, extra args, externs?) — six algorithms,
+# each under every strategy its operators support.
+CASES = [
+    ("sssp", "lazy", "weighted", ["0"], None),
+    ("sssp", "eager_no_fusion", "weighted", ["0"], None),
+    ("sssp", "eager_with_fusion", "weighted", ["0"], None),
+    ("sssp", "lazy", "unweighted", ["0"], None),
+    ("ppsp", "lazy", "weighted", ["0", "99"], None),
+    ("ppsp", "eager_with_fusion", "weighted", ["0", "99"], None),
+    ("widest", "lazy", "weighted", ["0"], None),
+    ("widest", "eager_no_fusion", "weighted", ["0"], None),
+    ("wbfs", "lazy", "weighted", ["0"], None),
+    ("wbfs", "eager_with_fusion", "unweighted", ["0"], None),
+    ("kcore", "lazy", "symmetric", [], None),
+    ("kcore", "lazy_constant_sum", "symmetric", [], None),
+    ("kcore", "eager_no_fusion", "symmetric", [], None),
+    ("astar", "lazy", "road", ["0", "100"], _heuristic_extern),
+    ("astar", "eager_no_fusion", "road", ["0", "100"], _heuristic_extern),
+]
+
+
+@pytest.mark.parametrize("workers", WORKERS)
+@pytest.mark.parametrize(
+    "program,strategy,graph_fixture,extra_args,extern",
+    CASES,
+    ids=[f"{c[0]}-{c[1]}-{c[2]}" for c in CASES],
+)
+def test_parallel_matches_oracle(
+    program, strategy, graph_fixture, extra_args, extern, workers, request
+):
+    graph = request.getfixturevalue(graph_fixture)
+    delta = 1 if program in ("kcore", "widest") else 3
+    schedule = Schedule(
+        priority_update=strategy, delta=delta, num_threads=workers
+    )
+    externs = {"computeHeuristic": extern} if extern else None
+    oracle, parallel = run_pair(
+        ALL_PROGRAMS[program],
+        schedule,
+        ["prog", "-", *extra_args],
+        graph,
+        externs=externs,
+    )
+    assert_bit_identical(oracle, parallel, workers)
+
+
+# ----------------------------------------------------------------------
+# Lazy stats invariant: the private per-worker update buffers (Figure 5)
+# must not change round structure or relaxation totals.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", (2, 4, 8))
+@pytest.mark.parametrize("strategy", ("lazy", "lazy_constant_sum"))
+def test_lazy_round_and_relaxation_invariant(symmetric, strategy, workers):
+    schedule = Schedule(priority_update=strategy, num_threads=workers)
+    oracle, parallel = run_pair(
+        ALL_PROGRAMS["kcore"], schedule, ["prog", "-"], symmetric
+    )
+    assert oracle.stats.rounds == parallel.stats.rounds
+    assert oracle.stats.relaxations == parallel.stats.relaxations
+    assert oracle.stats.buffer_appends == parallel.stats.buffer_appends
+    assert oracle.stats.dedup_hits == parallel.stats.dedup_hits
+    assert oracle.stats.buffer_reductions == parallel.stats.buffer_reductions
+    if workers > 1:
+        assert parallel.stats.parallel_rounds > 0
+
+
+# ----------------------------------------------------------------------
+# Relaxed (Galois-style) strategy: commits run in completion order under
+# the engine lock, so stats may differ — but the supported algorithms
+# converge to a unique fixpoint, which must match the oracle.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", (1, 2, 4, 8))
+def test_relaxed_parallel_is_admissible_sssp(weighted, workers):
+    reference = sssp(weighted, 0, Schedule(delta=3, num_threads=workers))
+    relaxed = sssp(
+        weighted,
+        0,
+        Schedule(delta=3, num_threads=workers, execution="parallel"),
+        relaxed_ordering=True,
+    )
+    assert np.array_equal(relaxed.distances, reference.distances)
+    assert relaxed.stats.execution == "parallel"
+
+
+@pytest.mark.parametrize("workers", (2, 4))
+def test_relaxed_parallel_is_admissible_ppsp(weighted, workers):
+    reference = ppsp(weighted, 0, 99, Schedule(delta=3, num_threads=workers))
+    relaxed = ppsp(
+        weighted,
+        0,
+        99,
+        Schedule(delta=3, num_threads=workers, execution="parallel"),
+        relaxed_ordering=True,
+    )
+    # Point-to-point with relaxed ordering may do different amounts of
+    # wasted work, but the target's distance is the unique shortest path.
+    assert relaxed.distances[99] == reference.distances[99]

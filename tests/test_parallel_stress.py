@@ -1,0 +1,243 @@
+"""Adversarial and randomized stress tests for the parallel engine.
+
+Three layers of defense:
+
+1. **Adversarial topologies** — stars (one giant frontier chunk vs many
+   empty ones), chains (every frontier is a single vertex, so every round
+   takes the engine's single-chunk fast path), duplicate-heavy multigraphs
+   (the same destination hammered from one chunk), and zero-weight edges
+   (same-bucket cascades) — each checked bit-identical against the scalar
+   oracle at several worker counts.
+
+2. **Property-based fuzz** (hypothesis, derandomized for CI stability):
+   arbitrary small multigraphs under arbitrary strategy/worker
+   combinations must stay bit-identical to the oracle.
+
+3. **Race-injection regression** — the R-family race analysis must keep
+   catching an unguarded shared write when the schedule actually requests
+   real parallel execution, end to end through ``lint_program``, and the
+   generated Python must pin its execution mode via
+   ``ctx.declare_execution``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backend.program import compile_program
+from repro.graph.builder import from_edges
+from repro.graph.generators import path_graph, star_graph
+from repro.lang.programs import ALL_PROGRAMS
+from repro.midend.analysis.diagnostics import Severity, lint_program
+from repro.midend.schedule import Schedule
+
+PARALLEL_ONLY = {
+    "execution",
+    "parallel_rounds",
+    "barrier_waits",
+    "barrier_wait_time",
+    "worker_wall_time",
+}
+
+
+def deterministic_stats(stats) -> dict:
+    dump = dataclasses.asdict(stats)
+    dump.pop("_current_work", None)
+    for key in PARALLEL_ONLY:
+        dump.pop(key, None)
+    return dump
+
+
+def assert_parallel_matches_oracle(source, schedule, args, graph):
+    oracle = compile_program(source, schedule).run(
+        list(args), graph=graph, vectorize=False
+    )
+    parallel = compile_program(source, schedule.with_(execution="parallel")).run(
+        list(args), graph=graph, vectorize=True
+    )
+    for name, value in oracle.globals.items():
+        if isinstance(value, np.ndarray):
+            assert np.array_equal(value, parallel.globals[name]), (
+                f"vector {name} diverged on {graph.num_vertices} vertices / "
+                f"{graph.num_edges} edges at {schedule.num_threads} workers"
+            )
+    assert deterministic_stats(oracle.stats) == deterministic_stats(parallel.stats)
+    return oracle, parallel
+
+
+# ----------------------------------------------------------------------
+# 1. Adversarial topologies
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", (2, 4, 8))
+@pytest.mark.parametrize("strategy", ("lazy", "eager_with_fusion"))
+class TestAdversarialTopologies:
+    def test_star(self, strategy, workers):
+        """One hub, hundreds of leaves: the first round is one giant
+        frontier, every later round is empty-ish — exercises both the
+        fan-out partition and the empty-chunk skip."""
+        graph = star_graph(257, weight=2, symmetric=True)
+        assert_parallel_matches_oracle(
+            ALL_PROGRAMS["sssp"],
+            Schedule(priority_update=strategy, delta=2, num_threads=workers),
+            ["prog", "-", "0"],
+            graph,
+        )
+
+    def test_chain(self, strategy, workers):
+        """A directed path: every frontier is exactly one vertex, so every
+        round must take the single-chunk inline fast path and record zero
+        parallel rounds of overhead."""
+        graph = path_graph(96, weight=3)
+        _, parallel = assert_parallel_matches_oracle(
+            ALL_PROGRAMS["sssp"],
+            Schedule(priority_update=strategy, delta=4, num_threads=workers),
+            ["prog", "-", "0"],
+            graph,
+        )
+        assert parallel.stats.parallel_rounds == 0
+
+    def test_duplicate_heavy_multigraph(self, strategy, workers):
+        """Many parallel edges between the same endpoints: one commit sees
+        the same destination dozens of times, stressing the dedup/ordering
+        guarantees of the batch relaxation."""
+        edges = []
+        for u in range(8):
+            for v in range(8):
+                if u != v:
+                    for w in (1, 1, 2, 2, 3):
+                        edges.append((u, v, w))
+        graph = from_edges(8, edges)
+        assert_parallel_matches_oracle(
+            ALL_PROGRAMS["sssp"],
+            Schedule(priority_update=strategy, delta=1, num_threads=workers),
+            ["prog", "-", "0"],
+            graph,
+        )
+
+    def test_zero_weight_edges(self, strategy, workers):
+        """Zero-weight edges keep relaxed vertices inside the current
+        bucket — the same-priority cascade where eager fusion churns."""
+        edges = [(v, v + 1, 0) for v in range(30)]
+        edges += [(v, (v * 7 + 3) % 31, 2) for v in range(31)]
+        graph = from_edges(31, edges)
+        assert_parallel_matches_oracle(
+            ALL_PROGRAMS["sssp"],
+            Schedule(priority_update=strategy, delta=2, num_threads=workers),
+            ["prog", "-", "0"],
+            graph,
+        )
+
+
+# ----------------------------------------------------------------------
+# 2. Property-based fuzz (derandomized: same cases on every run)
+# ----------------------------------------------------------------------
+
+_edges_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=23),
+        st.integers(min_value=0, max_value=23),
+        st.integers(min_value=0, max_value=5),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    edges=_edges_strategy,
+    strategy=st.sampled_from(("lazy", "eager_no_fusion", "eager_with_fusion")),
+    workers=st.sampled_from((2, 4, 8)),
+    delta=st.sampled_from((1, 3)),
+)
+def test_fuzz_parallel_matches_oracle(edges, strategy, workers, delta):
+    graph = from_edges(24, [(u, v, w) for u, v, w in edges if u != v])
+    if graph.num_edges == 0:
+        return
+    assert_parallel_matches_oracle(
+        ALL_PROGRAMS["sssp"],
+        Schedule(priority_update=strategy, delta=delta, num_threads=workers),
+        ["prog", "-", "0"],
+        graph,
+    )
+
+
+@settings(max_examples=10, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    workers=st.sampled_from((2, 4)),
+)
+def test_fuzz_kcore_constant_sum(seed, workers):
+    """Random symmetric graphs through the histogram (constant-sum) path."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 30))
+    m = int(rng.integers(n, 4 * n))
+    edges = [
+        (int(u), int(v))
+        for u, v in zip(rng.integers(0, n, m), rng.integers(0, n, m))
+        if u != v
+    ]
+    if not edges:
+        return
+    graph = from_edges(n, edges).symmetrized()
+    assert_parallel_matches_oracle(
+        ALL_PROGRAMS["kcore"],
+        Schedule(priority_update="lazy_constant_sum", num_threads=workers),
+        ["prog", "-"],
+        graph,
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Race-injection regression (R-family, end to end)
+# ----------------------------------------------------------------------
+
+RACY_SSSP = ALL_PROGRAMS["sssp"].replace(
+    "    pq.updatePriorityMin(dst, dist[dst], new_dist);",
+    "    dist[dst] = new_dist;\n"
+    "    pq.updatePriorityMin(dst, dist[dst], new_dist);",
+)
+assert RACY_SSSP != ALL_PROGRAMS["sssp"]
+
+
+class TestInjectedRaceIsCaught:
+    def test_r001_under_parallel_schedule(self):
+        """The injected unguarded shared write must be flagged R001 when the
+        schedule requests the real-thread engine."""
+        schedule = Schedule(
+            priority_update="eager_with_fusion",
+            delta=3,
+            num_threads=4,
+            execution="parallel",
+        )
+        diags = lint_program(RACY_SSSP, schedule=schedule, filename="racy.gt")
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        assert [d.code for d in errors] == ["R001"]
+
+    def test_clean_program_stays_clean_under_parallel_schedule(self):
+        schedule = Schedule(
+            priority_update="lazy", num_threads=4, execution="parallel"
+        )
+        assert lint_program(ALL_PROGRAMS["sssp"], schedule=schedule) == []
+
+    def test_generated_python_pins_execution_mode(self):
+        """End to end: the Python backend must bake the schedule's execution
+        mode into the generated program so a run can never silently use the
+        wrong engine."""
+        program = compile_program(
+            ALL_PROGRAMS["sssp"],
+            Schedule(priority_update="lazy", num_threads=4, execution="parallel"),
+        )
+        assert "ctx.declare_execution('parallel')" in program.source_text
