@@ -16,6 +16,15 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark driver is timing-sensitive and heavyweight: mark the
+    whole directory ``bench`` + ``slow`` so the CI fast job can deselect it
+    with ``-m "not slow"``."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def save_table():
     """Print a finished table and archive it under benchmarks/results/."""

@@ -20,6 +20,8 @@ import numpy as np
 from ..errors import CompileError
 from ..graph.csr import CSRGraph
 from ..lang.parser import parse
+from ..obs import span as trace_span
+from ..obs import stat_span as trace_stat_span
 from ..midend.schedule import Schedule, SchedulingProgram
 from ..midend.transforms.lowering import CompilationPlan, plan_program
 from ..runtime.stats import RuntimeStats
@@ -84,7 +86,15 @@ class CompiledProgram:
             extern_functions=extern_functions,
             vectorize=vectorize,
         )
-        program_globals = self._entry(context)
+        with trace_stat_span(
+            "program.run",
+            "runtime",
+            context.stats,
+            argv=list(args),
+            execution=self.plan.schedule.execution,
+            vectorize=bool(vectorize),
+        ):
+            program_globals = self._entry(context)
         context.globals.update(program_globals)
         return RunResult(
             globals=program_globals, stats=context.stats, context=context
@@ -107,20 +117,30 @@ def compile_program(
     (per-label schedules), or ``None`` — in which case the program's inline
     ``schedule:`` block applies, falling back to the default schedule.
     """
-    program_ast = parse(source)
-    plan = plan_program(program_ast, schedule)
-    if backend == "python":
-        text = generate_python(plan)
-        namespace: dict[str, object] = {}
-        code = compile(text, filename="<generated>", mode="exec")
-        exec(code, namespace)  # noqa: S102 - executing our own generated code
-        entry = namespace["program"]
-        return CompiledProgram(
-            plan=plan, backend=backend, source_text=text, _entry=entry
-        )
-    if backend == "cpp":
-        from .cpp_backend import generate_cpp
+    with trace_span("compile", "compiler", backend=backend):
+        program_ast = parse(source)
+        with trace_span("midend", "compiler"):
+            plan = plan_program(program_ast, schedule)
+        if backend == "python":
+            with trace_span("codegen.python", "compiler") as sp:
+                text = generate_python(plan)
+                if sp is not None:
+                    sp["lines"] = text.count("\n") + 1
+            with trace_span("load_module", "compiler"):
+                namespace: dict[str, object] = {}
+                code = compile(text, filename="<generated>", mode="exec")
+                # noqa: S102 - executing our own generated code
+                exec(code, namespace)
+                entry = namespace["program"]
+            return CompiledProgram(
+                plan=plan, backend=backend, source_text=text, _entry=entry
+            )
+        if backend == "cpp":
+            from .cpp_backend import generate_cpp
 
-        text = generate_cpp(plan)
-        return CompiledProgram(plan=plan, backend=backend, source_text=text)
+            with trace_span("codegen.cpp", "compiler") as sp:
+                text = generate_cpp(plan)
+                if sp is not None:
+                    sp["lines"] = text.count("\n") + 1
+            return CompiledProgram(plan=plan, backend=backend, source_text=text)
     raise CompileError(f"unknown backend {backend!r}; expected 'python' or 'cpp'")

@@ -22,6 +22,7 @@ import threading
 import numpy as np
 
 from ..errors import PriorityQueueError
+from ..obs import span as trace_span
 from ..runtime.stats import RuntimeStats
 from .interface import AbstractPriorityQueue, PriorityDirection
 
@@ -136,23 +137,28 @@ class EagerBucketQueue(AbstractPriorityQueue):
         site of the eager strategy (Figure 7's contract: no locking inside a
         fused run, one lock at global bucket advancement).
         """
-        with self._advance_lock:
-            self.global_advances += 1
-            while True:
-                order = self.min_order()
-                if order is None:
-                    return np.empty(0, dtype=np.int64)
-                if self._cur_order is not None and order < self._cur_order:
-                    # Purely stale bins below the current bucket: drain and
-                    # drop them without moving the current priority backwards.
-                    self._gather_order(order)
-                    continue
-                self._cur_order = order
-                members = self._gather_order(order)
-                live = self._filter_and_mark_live(members, order)
-                if live.size:
-                    self.stats.vertices_processed += int(live.size)
-                    return live
+        with trace_span("bucket.advance", "bucket", strategy="eager") as sp:
+            with self._advance_lock:
+                self.global_advances += 1
+                while True:
+                    order = self.min_order()
+                    if order is None:
+                        return np.empty(0, dtype=np.int64)
+                    if self._cur_order is not None and order < self._cur_order:
+                        # Purely stale bins below the current bucket: drain
+                        # and drop them without moving the current priority
+                        # backwards.
+                        self._gather_order(order)
+                        continue
+                    self._cur_order = order
+                    members = self._gather_order(order)
+                    live = self._filter_and_mark_live(members, order)
+                    if live.size:
+                        self.stats.vertices_processed += int(live.size)
+                        if sp is not None:
+                            sp["order"] = int(order)
+                            sp["frontier"] = int(live.size)
+                        return live
 
     def pop_local_bucket(self, thread_id: int, max_size: int) -> np.ndarray | None:
         """Fusion support: pop thread ``thread_id``'s local bucket for the

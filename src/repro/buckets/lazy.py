@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PriorityQueueError
+from ..obs import span as trace_span
 from ..runtime.stats import RuntimeStats
 from .interface import AbstractPriorityQueue, PriorityDirection
 
@@ -97,21 +98,25 @@ class LazyBucketQueue(AbstractPriorityQueue):
     def dequeue_ready_set(self) -> np.ndarray:
         """Reduce the update buffer, bulk-update buckets, and pop the next
         non-empty bucket (``getNextBucket`` in the generated code)."""
-        self._flush_pending()
-        while True:
-            order = self._next_nonempty_order()
-            if order is None:
-                if not self._overflow:
-                    return np.empty(0, dtype=np.int64)
-                self._rebucket_overflow()
-                continue
-            self._cur_order = order
-            members = self._pop_bucket(order)
-            live = self._filter_and_mark_live(members, order)
-            if live.size == 0:
-                continue
-            self.stats.vertices_processed += int(live.size)
-            return live
+        with trace_span("bucket.advance", "bucket", strategy="lazy") as sp:
+            self._flush_pending()
+            while True:
+                order = self._next_nonempty_order()
+                if order is None:
+                    if not self._overflow:
+                        return np.empty(0, dtype=np.int64)
+                    self._rebucket_overflow()
+                    continue
+                self._cur_order = order
+                members = self._pop_bucket(order)
+                live = self._filter_and_mark_live(members, order)
+                if live.size == 0:
+                    continue
+                self.stats.vertices_processed += int(live.size)
+                if sp is not None:
+                    sp["order"] = int(order)
+                    sp["frontier"] = int(live.size)
+                return live
 
     # ------------------------------------------------------------------
     # Priority update operators (scalar)
@@ -355,7 +360,13 @@ class LazyBucketQueue(AbstractPriorityQueue):
         self.merge_local_buffers()
         if not self._pending:
             return
+        with trace_span("bucket.reduce", "bucket", strategy="lazy") as sp:
+            self._flush_pending_traced(sp)
+
+    def _flush_pending_traced(self, sp: dict | None) -> None:
         pending = np.unique(np.concatenate(self._pending))
+        if sp is not None:
+            sp["buffered"] = int(pending.size)
         self._pending.clear()
         self._pending_flags[pending] = False
         self.stats.buffer_reductions += int(pending.size)
@@ -404,7 +415,14 @@ class LazyBucketQueue(AbstractPriorityQueue):
 
     def _rebucket_overflow(self) -> None:
         """Open a new window at the smallest overflow order and redistribute."""
+        with trace_span("bucket.rebucket_overflow", "bucket", strategy="lazy") as sp:
+            self._rebucket_overflow_traced(sp)
+
+    def _rebucket_overflow_traced(self, sp: dict | None) -> None:
         overflow = np.concatenate(self._overflow)
+        if sp is not None:
+            sp["overflow"] = int(overflow.size)
+            sp["old_base"] = int(self._base)
         self._overflow.clear()
         priorities = self.priority_vector[overflow]
         live = overflow[priorities != self.null_priority]
@@ -415,6 +433,8 @@ class LazyBucketQueue(AbstractPriorityQueue):
         if live.size == 0:
             return
         self._base = int(orders.min())
+        if sp is not None:
+            sp["new_base"] = self._base
         self._buckets = [[] for _ in range(self.num_open_buckets)]
         self._bulk_insert(live, orders)
 

@@ -22,6 +22,8 @@ import threading
 import numpy as np
 
 from ..errors import PriorityQueueError
+from ..obs import instant as trace_instant
+from ..obs import span as trace_span
 from ..runtime.stats import RuntimeStats
 from .interface import AbstractPriorityQueue, PriorityDirection
 
@@ -81,7 +83,9 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
         """Pop up to ``chunk_size`` vertices from the ``slack`` smallest
         orders — approximately ordered, duplicates and stale entries kept
         (they are the work-efficiency loss the paper attributes to Galois)."""
-        with self._window_lock:
+        with trace_span(
+            "bucket.dequeue_chunk", "bucket", strategy="relaxed"
+        ) as sp, self._window_lock:
             if not self._bins:
                 return np.empty(0, dtype=np.int64)
             window = sorted(self._bins)[: self.slack]
@@ -89,6 +93,12 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
                 # The priority window moved: this is the only point the
                 # relaxed strategy synchronizes at (charged by the executor).
                 self.window_advances += 1
+                trace_instant(
+                    "bucket.window_advance",
+                    "bucket",
+                    strategy="relaxed",
+                    order=int(window[0]),
+                )
             self._cur_order = window[0]
             popped: list[np.ndarray] = []
             budget = self.chunk_size
@@ -109,6 +119,9 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
                 np.concatenate(popped) if popped else np.empty(0, dtype=np.int64)
             )
             self.stats.vertices_processed += int(members.size)
+            if sp is not None:
+                sp["order"] = int(self._cur_order)
+                sp["chunk"] = int(members.size)
             return members
 
     def update_priority_min(self, vertex: int, new_value: int) -> bool:

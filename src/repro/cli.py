@@ -12,6 +12,11 @@ Mirrors the GraphIt compiler's command-line workflow:
 - ``lint`` — run the midend diagnostics engine (race/atomicity analysis,
   IR validator, schedule–program compatibility) over one or more programs
   and print structured ``file:line:col: severity[CODE]: message`` findings.
+- ``trace`` — compile and run a program under the tracer and write a
+  Chrome-trace-format JSON (loadable in Perfetto / ``chrome://tracing``).
+- ``profile`` — same traced run, printed as a self-time profile table.
+- ``bench-check`` — re-run the two checked-in benchmarks and fail when a
+  fresh run regresses past a tolerance (the CI perf gate).
 
 Examples::
 
@@ -20,6 +25,9 @@ Examples::
     python -m repro run sssp social.el 0 --priority-update eager_with_fusion --delta 32
     python -m repro autotune sssp social.el --trials 30
     python -m repro lint sssp kcore examples/my_prog.gt --werror
+    python -m repro trace examples/sssp_delta.gt --out trace.json
+    python -m repro profile sssp --execution parallel --threads 4
+    python -m repro bench-check --tolerance 0.2
 """
 
 from __future__ import annotations
@@ -222,6 +230,252 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
     if total_errors or (args.werror and total_warnings):
         return 1
+    return 0
+
+
+# Maps each schedule CLI flag to its Schedule field and argparse default;
+# ``trace``/``profile`` apply only the flags the user actually changed, so the
+# program's own inline ``schedule:`` block stays in charge of the rest.
+_SCHEDULE_ARG_DEFAULTS = {
+    "priority_update": ("priority_update", "eager_no_fusion"),
+    "delta": ("delta", 1),
+    "fusion_threshold": ("bucket_fusion_threshold", 1000),
+    "num_buckets": ("num_buckets", 128),
+    "direction": ("direction", "SparsePush"),
+    "threads": ("num_threads", 8),
+    "execution": ("execution", "serial"),
+}
+
+
+def _schedule_with_overrides(base: Schedule, args: argparse.Namespace) -> Schedule:
+    overrides = {}
+    for arg_name, (field_name, default) in _SCHEDULE_ARG_DEFAULTS.items():
+        value = getattr(args, arg_name)
+        if value != default:
+            overrides[field_name] = value
+    return base.with_(**overrides) if overrides else base
+
+
+def _traced_run(args: argparse.Namespace):
+    """Compile and run ``args.program`` under a fresh tracer.
+
+    Returns ``(tracer, result, schedule, graph_name)``.  The schedule
+    resolution compiles once *outside* the tracer to pick up the program's
+    inline ``schedule:`` block, then overlays only the schedule flags the
+    user set explicitly.
+    """
+    from .obs import tracing
+
+    source = _load_source(args.program)
+    base_schedule = compile_program(source, None).schedule
+    schedule = _schedule_with_overrides(base_schedule, args)
+    if args.graph is None or args.graph == "-":
+        graph = rmat(10, 16, seed=0, weights=(1, 4))
+        graph_name = "rmat(scale=10,edge_factor=16,seed=0)"
+    else:
+        graph = _load_graph(args.graph)
+        graph_name = args.graph
+    program_args = list(args.args) if args.args else ["0"]
+    with tracing() as tracer:
+        program = compile_program(source, schedule)
+        result = program.run(
+            [args.program, graph_name, *program_args], graph=graph
+        )
+    return tracer, result, schedule, graph_name
+
+
+def _trace_metadata(args, schedule: Schedule, graph_name: str) -> dict:
+    return {
+        "program": args.program,
+        "graph": graph_name,
+        "schedule": {
+            "priority_update": schedule.priority_update,
+            "delta": schedule.delta,
+            "direction": schedule.direction,
+            "bucket_fusion_threshold": schedule.bucket_fusion_threshold,
+            "num_buckets": schedule.num_buckets,
+            "num_threads": schedule.num_threads,
+            "execution": schedule.execution,
+        },
+    }
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import write_chrome_trace
+
+    tracer, result, schedule, graph_name = _traced_run(args)
+    write_chrome_trace(
+        args.out, tracer, metadata=_trace_metadata(args, schedule, graph_name)
+    )
+    stats = result.stats
+    spans = sum(1 for e in tracer.events if e.get("ph") == "X")
+    print(
+        f"wrote {len(tracer.events)} trace events ({spans} spans) "
+        f"to {args.out}"
+    )
+    print(
+        f"rounds={stats.rounds} relaxations={stats.relaxations} "
+        f"execution={schedule.execution} phases={len(stats.phase_timings)}"
+    )
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .obs import format_profile, self_profile, write_chrome_trace
+
+    tracer, result, schedule, graph_name = _traced_run(args)
+    rows = self_profile(tracer.events)
+    print(format_profile(rows, top=args.top))
+    if args.out:
+        write_chrome_trace(
+            args.out,
+            tracer,
+            metadata=_trace_metadata(args, schedule, graph_name),
+        )
+        print(f"wrote trace to {args.out}")
+    return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    """Re-run both checked-in benchmarks and compare against their baselines.
+
+    Each fresh run reuses the baseline's own parameters (graph scale, delta,
+    workers, ...) so the comparison is like-for-like.  Two kinds of checks:
+
+    * **perf**: the fresh speedup must not fall more than ``tolerance``
+      below the baseline's (``fresh/baseline - 1 >= -tolerance``),
+    * **exact**: deterministic counters (relaxations, priority updates,
+      parallel rounds) must match bit-for-bit — any drift means the
+      *behaviour* changed, not the machine.
+    """
+    import json
+    import tempfile
+
+    def load(path: str) -> dict:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError as error:
+            raise GraphItError(f"cannot read baseline {path!r}: {error}")
+
+    rows: list[list[str]] = []
+    failures: list[str] = []
+
+    def check_perf(bench: str, metric: str, base: float, fresh: float, tol: float):
+        delta = fresh / base - 1.0 if base else float("inf")
+        ok = delta >= -tol
+        rows.append(
+            [
+                bench,
+                metric,
+                f"{base:.2f}",
+                f"{fresh:.2f}",
+                f"{delta:+.1%}",
+                f"-{tol:.0%}",
+                "ok" if ok else "FAIL",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{bench}: {metric} regressed {delta:+.1%} "
+                f"(baseline {base:.2f}, fresh {fresh:.2f}, "
+                f"tolerance -{tol:.0%})"
+            )
+
+    def check_exact(bench: str, metric: str, base, fresh):
+        ok = base == fresh
+        rows.append(
+            [bench, metric, str(base), str(fresh), "exact", "=", "ok" if ok else "FAIL"]
+        )
+        if not ok:
+            failures.append(
+                f"{bench}: deterministic counter {metric} drifted "
+                f"(baseline {base}, fresh {fresh})"
+            )
+
+    out_dir = args.out_dir or tempfile.mkdtemp(prefix="bench-check-")
+    os.makedirs(out_dir, exist_ok=True)
+    tol_kernels = (
+        args.tolerance_kernels
+        if args.tolerance_kernels is not None
+        else args.tolerance
+    )
+    tol_parallel = (
+        args.tolerance_parallel
+        if args.tolerance_parallel is not None
+        else args.tolerance
+    )
+
+    # -- bench-kernels ------------------------------------------------
+    base_k = load(args.kernels_baseline)
+    fresh_k_path = os.path.join(out_dir, "BENCH_apply.fresh.json")
+    rc = _cmd_bench_kernels(
+        argparse.Namespace(
+            scale=base_k["graph"]["scale"],
+            edge_factor=base_k["graph"]["edge_factor"],
+            seed=base_k["graph"]["seed"],
+            delta=base_k["delta"],
+            threads=base_k["num_threads"],
+            repeats=args.repeats or base_k["repeats"],
+            min_speedup=None,
+            output=fresh_k_path,
+        )
+    )
+    if rc != 0:
+        print("bench-check: fresh bench-kernels run failed")
+        return rc
+    fresh_k = load(fresh_k_path)
+    check_perf(
+        "kernels", "speedup", base_k["speedup"], fresh_k["speedup"], tol_kernels
+    )
+    for metric in ("relaxations", "priority_updates", "frontier_vertices"):
+        check_exact("kernels", metric, base_k[metric], fresh_k[metric])
+
+    # -- bench-parallel -----------------------------------------------
+    base_p = load(args.parallel_baseline)
+    fresh_p_path = os.path.join(out_dir, "BENCH_parallel.fresh.json")
+    rc = _cmd_bench_parallel(
+        argparse.Namespace(
+            scale=base_p["graph"]["scale"],
+            edge_factor=base_p["graph"]["edge_factor"],
+            seed=base_p["graph"]["seed"],
+            delta=base_p["delta"],
+            workers=base_p["workers"],
+            strategy=base_p["strategy"],
+            repeats=args.repeats or base_p["repeats"],
+            min_speedup=None,
+            output=fresh_p_path,
+        )
+    )
+    if rc != 0:
+        print("bench-check: fresh bench-parallel run failed")
+        return rc
+    fresh_p = load(fresh_p_path)
+    check_perf(
+        "parallel",
+        "speedup_vs_oracle",
+        base_p["speedup_vs_oracle"],
+        fresh_p["speedup_vs_oracle"],
+        tol_parallel,
+    )
+    for metric in ("parallel_rounds", "barrier_waits"):
+        check_exact("parallel", metric, base_p[metric], fresh_p[metric])
+
+    from .eval.harness import format_table
+
+    print(
+        format_table(
+            ["bench", "metric", "baseline", "fresh", "delta", "tolerance", "status"],
+            rows,
+            title="bench-check: fresh runs vs checked-in baselines",
+        )
+    )
+    if failures:
+        print()
+        for failure in failures:
+            print(f"bench-check FAIL: {failure}")
+        return 1
+    print("\nbench-check: all checks passed")
     return 0
 
 
@@ -652,6 +906,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     par_parser.add_argument("-o", "--output", default="BENCH_parallel.json")
     par_parser.set_defaults(handler=_cmd_bench_parallel)
+
+    trace_parser = commands.add_parser(
+        "trace",
+        help="run a program under the tracer and write Chrome-trace JSON "
+        "(open in Perfetto / chrome://tracing)",
+    )
+    trace_parser.add_argument(
+        "program", help=f"a .gt file or one of: {', '.join(sorted(ALL_PROGRAMS))}"
+    )
+    trace_parser.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="edge-list (.el) or .npz graph file; '-' or omitted for a "
+        "synthetic R-MAT (scale 10)",
+    )
+    trace_parser.add_argument(
+        "args", nargs="*", help="extra argv for the program (default: '0')"
+    )
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="output trace file"
+    )
+    _add_schedule_arguments(trace_parser)
+    trace_parser.set_defaults(handler=_cmd_trace)
+
+    profile_parser = commands.add_parser(
+        "profile",
+        help="run a program under the tracer and print a self-time profile",
+    )
+    profile_parser.add_argument(
+        "program", help=f"a .gt file or one of: {', '.join(sorted(ALL_PROGRAMS))}"
+    )
+    profile_parser.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="edge-list (.el) or .npz graph file; '-' or omitted for a "
+        "synthetic R-MAT (scale 10)",
+    )
+    profile_parser.add_argument(
+        "args", nargs="*", help="extra argv for the program (default: '0')"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=15, help="rows to print (default 15)"
+    )
+    profile_parser.add_argument(
+        "--out", default=None, help="also write the Chrome-trace JSON here"
+    )
+    _add_schedule_arguments(profile_parser)
+    profile_parser.set_defaults(handler=_cmd_profile)
+
+    check_parser = commands.add_parser(
+        "bench-check",
+        help="re-run both benchmarks and fail on regressions vs the "
+        "checked-in baselines (the CI perf gate)",
+    )
+    check_parser.add_argument(
+        "--kernels-baseline",
+        default="BENCH_apply.json",
+        help="baseline record for bench-kernels",
+    )
+    check_parser.add_argument(
+        "--parallel-baseline",
+        default="BENCH_parallel.json",
+        help="baseline record for bench-parallel",
+    )
+    check_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup regression (0.2 = -20%%)",
+    )
+    check_parser.add_argument(
+        "--tolerance-kernels",
+        type=float,
+        default=None,
+        help="override --tolerance for the kernels benchmark",
+    )
+    check_parser.add_argument(
+        "--tolerance-parallel",
+        type=float,
+        default=None,
+        help="override --tolerance for the parallel benchmark",
+    )
+    check_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override the baselines' repeat count for the fresh runs",
+    )
+    check_parser.add_argument(
+        "--out-dir",
+        default=None,
+        help="directory for the fresh bench JSON (default: a temp dir)",
+    )
+    check_parser.set_defaults(handler=_cmd_bench_check)
 
     return parser
 

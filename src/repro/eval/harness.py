@@ -17,6 +17,7 @@ import numpy as np
 
 from ..algorithms.frameworks import ALGORITHMS, FRAMEWORKS, run_framework, supports
 from ..errors import GraphItError
+from ..obs import get_tracer, span as trace_span, tracing, write_chrome_trace
 from ..runtime.stats import RuntimeStats
 from . import datasets
 
@@ -67,9 +68,16 @@ def run_cell(
     num_threads: int = 8,
     delta: int | None = None,
     execution: str = "serial",
+    trace_path: str | None = None,
 ) -> Measurement | None:
     """Run one cell; ``None`` when the framework lacks the algorithm or the
-    dataset lacks what the algorithm needs (A* off road graphs)."""
+    dataset lacks what the algorithm needs (A* off road graphs).
+
+    ``trace_path`` drops a Chrome-trace artifact of the cell's runs: when no
+    tracer is active a fresh one is installed for the cell and the trace is
+    written to that path; when one is already active (e.g. the CLI installed
+    it) the cell's spans simply join it and no separate file is written.
+    """
     if not supports(framework, algorithm):
         return None
     if algorithm == "astar" and datasets.DATASETS[dataset].kind != "road":
@@ -78,6 +86,29 @@ def run_cell(
         # Table 4 benchmarks wBFS "on only the social networks and web
         # graphs ... following the convention in previous work".
         return None
+    if trace_path is not None and get_tracer() is None:
+        with tracing() as tracer:
+            measurement = run_cell(
+                framework,
+                algorithm,
+                dataset,
+                trials=trials,
+                num_threads=num_threads,
+                delta=delta,
+                execution=execution,
+            )
+        write_chrome_trace(
+            trace_path,
+            tracer,
+            metadata={
+                "framework": framework,
+                "algorithm": algorithm,
+                "dataset": dataset,
+                "execution": execution,
+                "num_threads": num_threads,
+            },
+        )
+        return measurement
     if delta is None:
         delta = datasets.best_delta(dataset)
     workloads = _workloads(algorithm, dataset, trials)
@@ -87,16 +118,25 @@ def run_cell(
     merged.execution = execution
     for graph, source, target in workloads:
         started = time.perf_counter()
-        result = run_framework(
-            framework,
-            algorithm,
-            graph,
-            source=source,
-            target=target,
-            delta=delta,
-            num_threads=num_threads,
+        with trace_span(
+            "cell.run",
+            "harness",
+            framework=framework,
+            algorithm=algorithm,
+            dataset=dataset,
+            source=int(source),
             execution=execution,
-        )
+        ):
+            result = run_framework(
+                framework,
+                algorithm,
+                graph,
+                source=source,
+                target=target,
+                delta=delta,
+                num_threads=num_threads,
+                execution=execution,
+            )
         total_wall += time.perf_counter() - started
         merged.merge(result.stats)
     runs = len(workloads)

@@ -10,6 +10,7 @@ the trailing ``schedule:`` block with ``program->command(...)`` chains.
 from __future__ import annotations
 
 from ..errors import ParseError
+from ..obs import span as trace_span
 from . import ast_nodes as ast
 from .lexer import tokenize
 from .tokens import Token, TokenKind
@@ -51,7 +52,12 @@ def parse(source: str, filename: str | None = None) -> ast.Program:
     attached to every :class:`~repro.lang.span.Span` in parse errors, so
     diagnostics render as clickable ``file:line:col`` locations.
     """
-    program = Parser(tokenize(source, filename), filename).parse_program()
+    with trace_span("lex", "compiler", file=filename or "<string>") as sp:
+        tokens = tokenize(source, filename)
+        if sp is not None:
+            sp["tokens"] = len(tokens)
+    with trace_span("parse", "compiler", file=filename or "<string>"):
+        program = Parser(tokens, filename).parse_program()
     program.source_file = filename
     return program
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ...errors import CompileError, SchedulingError
 from ...lang import ast_nodes as ast
+from ...obs import span as trace_span
 from ...lang.symbols import SymbolTable
 from ...lang.typecheck import typecheck
 from ...lang.types import PriorityQueueType
@@ -108,10 +109,12 @@ def plan_program(
     schedule: Schedule | SchedulingProgram | None = None,
 ) -> CompilationPlan:
     """Run the midend (see module docstring) and return the plan."""
-    table = typecheck(program)
+    with trace_span("typecheck", "compiler"):
+        table = typecheck(program)
     # The IR validator runs between every midend stage: catch a frontend
     # that handed over broken IR before any pass consumes it.
-    validate_ir_or_raise(program, "typed")
+    with trace_span("midend.validate_ir", "compiler", stage="typed"):
+        validate_ir_or_raise(program, "typed")
 
     queue_names = {
         const.name
@@ -126,9 +129,15 @@ def plan_program(
     if main is None:
         raise CompileError("program has no main function")
 
-    loop = recognize_ordered_loop(main, queue_names)
+    with trace_span("midend.recognize_loop", "compiler"):
+        loop = recognize_ordered_loop(main, queue_names)
 
-    resolved = _resolve_schedule(program, schedule, loop)
+    with trace_span("midend.resolve_schedule", "compiler") as sp:
+        resolved = _resolve_schedule(program, schedule, loop)
+        if sp is not None:
+            sp["priority_update"] = resolved.priority_update
+            sp["delta"] = resolved.delta
+            sp["execution"] = resolved.execution
 
     udf: ast.FuncDecl | None = None
     dependence: DependenceInfo | None = None
@@ -147,16 +156,19 @@ def plan_program(
             raise CompileError(
                 f"the UDF {udf.name!r} contains no priority update operator"
             )
-        dependence = analyze_dependences(udf, queue_names, resolved.direction)
+        with trace_span("midend.dependence", "compiler", udf=udf.name):
+            dependence = analyze_dependences(udf, queue_names, resolved.direction)
         # The race/atomicity analysis (per-site classification) drives the
         # backends: the C++ generator emits atomics only for sites that
         # need them, the Python backend asserts the classification at run
         # time.  Racy classifications do NOT abort the plan — `repro lint`
         # reports them and the interpreter refuses to execute them.
-        races = analyze_races(
-            udf, queue_names, resolved, source_file=program.source_file
-        )
-        constant_sum = analyze_constant_sum(udf, queue_names)
+        with trace_span("midend.races", "compiler", udf=udf.name):
+            races = analyze_races(
+                udf, queue_names, resolved, source_file=program.source_file
+            )
+        with trace_span("midend.constant_sum", "compiler", udf=udf.name):
+            constant_sum = analyze_constant_sum(udf, queue_names)
         if resolved.uses_histogram:
             if constant_sum is None:
                 raise CompileError(
@@ -164,7 +176,8 @@ def plan_program(
                     "a single constant-difference updatePrioritySum "
                     "(Section 5.1's analysis rejected it)"
                 )
-            transformed = build_transformed_udf(udf, constant_sum)
+            with trace_span("midend.histogram_transform", "compiler", udf=udf.name):
+                transformed = build_transformed_udf(udf, constant_sum)
 
     # The bucketing strategy only constrains *ordered* programs; a program
     # without a priority queue ignores it.
@@ -184,16 +197,20 @@ def plan_program(
     # Post-lowering validation: the transforms must have left the IR in a
     # backend-consumable state (histogram UDF present iff scheduled, no
     # unresolved symbols introduced by the transform).
-    validate_ir_or_raise(
-        program, "lowered", schedule=resolved, transformed_udf=transformed
-    )
+    with trace_span("midend.validate_ir", "compiler", stage="lowered"):
+        validate_ir_or_raise(
+            program, "lowered", schedule=resolved, transformed_udf=transformed
+        )
 
     # UDF vectorization: classify every apply UDF as batch-kernel eligible
     # or scalar fallback.  The Python backend consumes the kernels; the
     # fallback reasons feed `repro lint` (V101).
-    vectorize = analyze_vectorization(
-        program, queue_names, resolved, source_file=program.source_file
-    )
+    with trace_span("midend.vectorize", "compiler") as sp:
+        vectorize = analyze_vectorization(
+            program, queue_names, resolved, source_file=program.source_file
+        )
+        if sp is not None:
+            sp["udfs"] = sorted(vectorize)
 
     return CompilationPlan(
         program=program,

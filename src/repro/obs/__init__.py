@@ -1,0 +1,74 @@
+"""Observability: end-to-end tracing and profiling for the whole stack.
+
+The subsystem threads **zero-overhead-when-off** trace hooks through every
+layer — compiler phases (lex/parse/typecheck/midend passes/codegen), the
+bucket runtimes (advance, rebucket, window moves), the apply operators, and
+the parallel engine (per-worker produce spans, barrier waits, commit
+replay) — and exports Chrome-trace JSON plus a self-profile table.
+
+The paper's evaluation attributes cost to schedule decisions (rounds,
+synchronizations, bucket traffic); this package makes that attribution
+observable on a timeline instead of only in aggregate counters.
+
+Entry points:
+
+- ``repro trace <prog> --out trace.json`` — run under the tracer, write a
+  Perfetto-loadable trace;
+- ``repro profile <prog>`` — same run, print the hot-phase table;
+- :func:`tracing` / :func:`span` — the library API the hook sites use;
+- :mod:`repro.obs.events` — the event schema and its validator.
+
+Tracing never mutates algorithm state: a traced run computes bit-identical
+results and deterministic statistics to an untraced run (asserted by
+``tests/test_tracing.py``).
+"""
+
+from .events import (
+    CATEGORIES,
+    PHASES,
+    assert_valid_chrome_trace,
+    validate_chrome_trace,
+    validate_event,
+)
+from .exporters import (
+    ProfileRow,
+    chrome_trace,
+    format_profile,
+    load_chrome_trace,
+    self_profile,
+    write_chrome_trace,
+)
+from .tracer import (
+    Tracer,
+    activate,
+    counter,
+    deactivate,
+    get_tracer,
+    instant,
+    span,
+    stat_span,
+    tracing,
+)
+
+__all__ = [
+    "Tracer",
+    "tracing",
+    "activate",
+    "deactivate",
+    "get_tracer",
+    "span",
+    "stat_span",
+    "instant",
+    "counter",
+    "CATEGORIES",
+    "PHASES",
+    "validate_event",
+    "validate_chrome_trace",
+    "assert_valid_chrome_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "ProfileRow",
+    "self_profile",
+    "format_profile",
+]

@@ -1,0 +1,119 @@
+"""Trace event schema (a subset of the Chrome Trace Event Format).
+
+Every event the tracer emits is a plain dictionary that serializes directly
+into the ``traceEvents`` array of a Chrome-trace JSON file, loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  The subset used
+here:
+
+============  =====================================================
+``ph``        phase: ``"X"`` complete span, ``"i"`` instant,
+              ``"C"`` counter, ``"M"`` metadata (thread names)
+``name``      event name (``"bucket.advance"``, ``"lex"``, ...)
+``cat``       category — one of :data:`CATEGORIES`; maps a span to
+              the layer that emitted it
+``ts``        start timestamp in microseconds from the trace origin
+``dur``       duration in microseconds (complete spans only)
+``pid``       process id (always the real pid; one process per trace)
+``tid``       small stable integer per OS thread (0 = the thread the
+              tracer was created on, workers count up from 1)
+``args``      open dictionary of span payload (frontier sizes, bucket
+              orders, pass names, ...)
+============  =====================================================
+
+The schema is enforced by :func:`validate_event` /
+:func:`validate_chrome_trace` — pure-python structural validation, no
+third-party JSON-schema dependency.  The test suite round-trips traces
+through JSON and validates them; ``repro trace`` output is therefore
+guaranteed loadable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "CATEGORIES",
+    "PHASES",
+    "validate_event",
+    "validate_chrome_trace",
+    "assert_valid_chrome_trace",
+]
+
+# The layers of the stack that emit events (DESIGN.md section 9).
+CATEGORIES = frozenset(
+    {
+        "compiler",  # frontend + midend passes + codegen
+        "bucket",    # bucket-runtime structure events (advance, rebucket)
+        "runtime",   # apply operators / rounds in runtime_support
+        "parallel",  # parallel-engine produce/barrier/commit
+        "harness",   # eval harness cells
+        "cli",       # top-level command spans
+        "meta",      # thread-name metadata
+    }
+)
+
+# Event phases this tracer emits.
+PHASES = frozenset({"X", "i", "C", "M"})
+
+_REQUIRED = ("name", "cat", "ph", "ts", "pid", "tid")
+
+
+def validate_event(event: Any) -> list[str]:
+    """Structural problems with one trace event (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    for key in _REQUIRED:
+        if key not in event:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if not isinstance(event["name"], str) or not event["name"]:
+        problems.append("name must be a non-empty string")
+    if event["cat"] not in CATEGORIES:
+        problems.append(
+            f"unknown category {event['cat']!r} (expected one of "
+            f"{sorted(CATEGORIES)})"
+        )
+    if event["ph"] not in PHASES:
+        problems.append(f"unknown phase {event['ph']!r}")
+    if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+        problems.append("ts must be a non-negative number (microseconds)")
+    if not isinstance(event["pid"], int):
+        problems.append("pid must be an integer")
+    if not isinstance(event["tid"], int) or event["tid"] < 0:
+        problems.append("tid must be a non-negative integer")
+    if event["ph"] == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append("complete (ph=X) events need a non-negative dur")
+    if "args" in event and not isinstance(event["args"], dict):
+        problems.append("args must be an object")
+    return problems
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Structural problems with a whole Chrome-trace document."""
+    if not isinstance(payload, dict):
+        return [f"trace is not an object: {type(payload).__name__}"]
+    problems: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            problems.append(f"traceEvents[{index}]: {problem}")
+    metadata = payload.get("metadata")
+    if metadata is not None and not isinstance(metadata, dict):
+        problems.append("metadata must be an object")
+    return problems
+
+
+def assert_valid_chrome_trace(payload: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation (if any)."""
+    problems = validate_chrome_trace(payload)
+    if problems:
+        raise ValueError(
+            "invalid Chrome trace: " + "; ".join(problems[:20])
+            + (f" (+{len(problems) - 20} more)" if len(problems) > 20 else "")
+        )

@@ -1,0 +1,152 @@
+"""Exporters: Chrome-trace JSON files and the self-profile table.
+
+``chrome_trace`` assembles the document ``repro trace`` writes (loadable in
+Perfetto / ``chrome://tracing``); ``self_profile`` aggregates the same
+events into the per-phase table ``repro profile`` prints — total time,
+self time (total minus nested child spans on the same thread), and call
+counts per (category, name).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .events import assert_valid_chrome_trace
+from .tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "ProfileRow",
+    "self_profile",
+    "format_profile",
+]
+
+
+def chrome_trace(
+    tracer_or_events: Tracer | list[dict], metadata: dict | None = None
+) -> dict:
+    """Assemble a Chrome Trace Event Format document (and validate it)."""
+    if isinstance(tracer_or_events, Tracer):
+        events = tracer_or_events.events
+    else:
+        events = list(tracer_or_events)
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": dict(metadata or {}),
+    }
+    assert_valid_chrome_trace(payload)
+    return payload
+
+
+def write_chrome_trace(
+    path: str, tracer_or_events: Tracer | list[dict], metadata: dict | None = None
+) -> dict:
+    """Write the trace as JSON to ``path``; returns the document."""
+    payload = chrome_trace(tracer_or_events, metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+def load_chrome_trace(path: str) -> dict:
+    """Load and schema-validate a Chrome-trace JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert_valid_chrome_trace(payload)
+    return payload
+
+
+@dataclass
+class ProfileRow:
+    """One line of the self-profile: aggregated over (category, name)."""
+
+    cat: str
+    name: str
+    count: int
+    total_us: float
+    self_us: float
+
+    @property
+    def mean_us(self) -> float:
+        return self.total_us / self.count if self.count else 0.0
+
+
+def self_profile(tracer_or_events: Tracer | list[dict]) -> list[ProfileRow]:
+    """Aggregate complete spans into per-(cat, name) totals with self time.
+
+    Self time is a span's duration minus the durations of spans strictly
+    nested inside it on the same thread — the quantity that answers "which
+    phase is hot" without double-charging parents for their children.
+    Sorted by self time, descending.
+    """
+    if isinstance(tracer_or_events, Tracer):
+        events = tracer_or_events.events
+    else:
+        events = list(tracer_or_events)
+    spans = [e for e in events if e.get("ph") == "X"]
+    # Self-time via a per-thread interval sweep: process spans in start
+    # order; an enclosing span is on the stack while its children run.
+    by_tid: dict[int, list[dict]] = {}
+    for event in spans:
+        by_tid.setdefault(event["tid"], []).append(event)
+
+    totals: dict[tuple[str, str], ProfileRow] = {}
+
+    def row(event: dict) -> ProfileRow:
+        key = (event["cat"], event["name"])
+        entry = totals.get(key)
+        if entry is None:
+            entry = totals[key] = ProfileRow(
+                cat=key[0], name=key[1], count=0, total_us=0.0, self_us=0.0
+            )
+        return entry
+
+    for events_of_tid in by_tid.values():
+        # Sort by start; ties break longest-first so parents precede their
+        # zero-offset children.
+        events_of_tid.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[dict] = []  # open spans, innermost last
+        for event in events_of_tid:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - 1e-9:
+                stack.pop()
+            if stack:
+                row(stack[-1]).self_us -= event["dur"]
+            entry = row(event)
+            entry.count += 1
+            entry.total_us += event["dur"]
+            entry.self_us += event["dur"]
+            stack.append(event)
+    return sorted(totals.values(), key=lambda r: r.self_us, reverse=True)
+
+
+def format_profile(rows: list[ProfileRow], top: int | None = None) -> str:
+    """Render the profile as the aligned text table the CLI prints."""
+    if top is not None:
+        rows = rows[:top]
+    headers = ["category", "name", "calls", "total ms", "self ms", "mean us"]
+    body = [
+        [
+            r.cat,
+            r.name,
+            str(r.count),
+            f"{r.total_us / 1000:.3f}",
+            f"{r.self_us / 1000:.3f}",
+            f"{r.mean_us:.1f}",
+        ]
+        for r in rows
+    ]
+    widths = [len(h) for h in headers]
+    for line in body:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for line in body:
+        out.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(out)

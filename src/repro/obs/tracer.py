@@ -1,0 +1,286 @@
+"""The tracer: structured spans with a zero-overhead-when-off fast path.
+
+Design constraints (in priority order):
+
+1. **Off is free.**  Tracing is off by default and the repository's
+   correctness story — the differential oracle tests — must hold
+   bit-identically whether or not the ``obs`` package is imported.  Every
+   hook site calls the module-level :func:`span` / :func:`instant`
+   functions, which read one module global and return a shared no-op
+   context manager when no tracer is active: no allocation, no clock
+   read, no branch inside the traced code.
+2. **Deterministic state stays untouched.**  The tracer only ever appends
+   to its own event list (and, for :func:`stat_span`, to
+   ``RuntimeStats.phase_timings``, a field that is empty whenever tracing
+   is off).  It never reads or writes algorithm state, so a traced run
+   computes exactly what an untraced run computes.
+3. **Thread safe.**  The parallel engine's workers emit produce spans
+   concurrently with the coordinator's barrier/commit spans.  Event
+   appends take a lock; span stacks are per-OS-thread, so strict nesting
+   is enforced per thread with no cross-thread coordination.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing() as tracer:
+        program = compile_program(source, schedule)   # compiler spans
+        result = program.run(argv, graph=g)           # runtime spans
+    obs.write_chrome_trace("trace.json", tracer)
+
+Hook sites look like::
+
+    with obs.span("bucket.advance", "bucket", strategy="lazy") as sp:
+        ...
+        if sp is not None:
+            sp["order"] = order        # late args, recorded at span end
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Tracer",
+    "span",
+    "stat_span",
+    "instant",
+    "counter",
+    "get_tracer",
+    "activate",
+    "deactivate",
+    "tracing",
+]
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :func:`span` when tracing
+    is off.  Stateless, hence safely reentrant and thread-safe."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects trace events for one tracing session.
+
+    Timestamps are microseconds relative to the tracer's construction
+    (``time.perf_counter`` based by default; inject ``clock`` for
+    deterministic tests).  OS threads are mapped to small stable ``tid``
+    integers in first-seen order — 0 is the constructing thread — and a
+    ``thread_name`` metadata event is emitted per thread so Perfetto shows
+    readable track names.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock or time.perf_counter
+        self._origin = self._clock()
+        self._lock = threading.Lock()
+        self._events: list[dict] = []
+        self._tids: dict[int, int] = {}
+        self._stacks: dict[int, list[tuple[str, float, dict]]] = {}
+        self.pid = os.getpid()
+
+    # -- time & identity -------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            with self._lock:
+                tid = self._tids.get(ident)
+                if tid is None:
+                    tid = len(self._tids)
+                    self._tids[ident] = tid
+                    name = threading.current_thread().name
+                    self._events.append(
+                        {
+                            "name": "thread_name",
+                            "cat": "meta",
+                            "ph": "M",
+                            "ts": 0,
+                            "pid": self.pid,
+                            "tid": tid,
+                            "args": {"name": name},
+                        }
+                    )
+        return tid
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # -- emission --------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, cat: str, **args: Any) -> Iterator[dict]:
+        """A complete (ph=X) span around the ``with`` body.
+
+        Yields the args dictionary; entries added inside the body are
+        recorded at span end (late args such as frontier sizes).
+        Strict per-thread nesting is enforced: the span closes in LIFO
+        order by construction of ``with``, and each thread keeps its own
+        stack so ``depth`` is recorded per event.
+        """
+        tid = self._tid()
+        payload = dict(args)
+        stack = self._stacks.setdefault(threading.get_ident(), [])
+        start = self._now_us()
+        stack.append((name, start, payload))
+        try:
+            yield payload
+        finally:
+            stack.pop()
+            end = self._now_us()
+            self._append(
+                {
+                    "name": name,
+                    "cat": cat,
+                    "ph": "X",
+                    "ts": start,
+                    "dur": end - start,
+                    "pid": self.pid,
+                    "tid": tid,
+                    "args": payload,
+                }
+            )
+
+    @contextmanager
+    def stat_span(self, name: str, cat: str, stats: Any, **args: Any) -> Iterator[dict]:
+        """A span that additionally records a timestamped phase timing into
+        ``stats.phase_timings`` (see :class:`~repro.runtime.stats.RuntimeStats`).
+
+        Only ever runs when tracing is on — the module-level
+        :func:`stat_span` short-circuits otherwise — so ``phase_timings``
+        stays empty (and stat dumps stay bit-identical) for untraced runs.
+        """
+        start_us = self._now_us()
+        with self.span(name, cat, **args) as payload:
+            yield payload
+        stats.record_phase(name, start_us, self._now_us() - start_us)
+
+    def instant(self, name: str, cat: str, **args: Any) -> None:
+        """A point-in-time (ph=i) event."""
+        self._append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": self._tid(),
+                "args": dict(args),
+            }
+        )
+
+    def counter(self, name: str, cat: str, **values: float) -> None:
+        """A counter (ph=C) sample; Perfetto renders these as tracks."""
+        self._append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "C",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": self._tid(),
+                "args": dict(values),
+            }
+        )
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def events(self) -> list[dict]:
+        """Snapshot of the events recorded so far."""
+        with self._lock:
+            return list(self._events)
+
+    def open_spans(self) -> int:
+        """Number of spans currently open across all threads."""
+        return sum(len(stack) for stack in self._stacks.values())
+
+
+# ---------------------------------------------------------------------------
+# Module-level current tracer (the hook sites' fast path)
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE
+    with _ACTIVATION_LOCK:
+        if _ACTIVE is not None:
+            raise RuntimeError("a tracer is already active; deactivate it first")
+        _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Remove the active tracer (idempotent)."""
+    global _ACTIVE
+    with _ACTIVATION_LOCK:
+        _ACTIVE = None
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of the ``with`` body."""
+    tracer = activate(tracer or Tracer())
+    try:
+        yield tracer
+    finally:
+        deactivate()
+
+
+def span(name: str, cat: str, **args: Any):
+    """Module-level span hook — a shared no-op when tracing is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, cat, **args)
+
+
+def stat_span(name: str, cat: str, stats: Any, **args: Any):
+    """Like :func:`span`, additionally logging into ``stats.phase_timings``
+    (only when tracing is on; stat dumps are untouched otherwise)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.stat_span(name, cat, stats, **args)
+
+
+def instant(name: str, cat: str, **args: Any) -> None:
+    """Module-level instant-event hook (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, cat, **args)
+
+
+def counter(name: str, cat: str, **values: float) -> None:
+    """Module-level counter hook (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.counter(name, cat, **values)

@@ -54,6 +54,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..errors import SchedulingError
+from ..obs import span as trace_span
 
 __all__ = ["ParallelExecutionEngine", "EXECUTION_MODES", "shutdown_executors"]
 
@@ -183,9 +184,14 @@ class ParallelExecutionEngine:
         pool = _shared_executor(self.num_workers)
 
         def timed_produce(chunk: np.ndarray, tid: int) -> tuple[Any, float]:
-            start = time.perf_counter()
-            payload = produce(chunk, tid)
-            return payload, time.perf_counter() - start
+            # The span lands on the *worker's* trace track (per-worker chunk
+            # spans); ``worker`` carries the logical virtual-thread id.
+            with trace_span(
+                "worker.produce", "parallel", worker=tid, chunk=int(len(chunk))
+            ):
+                start = time.perf_counter()
+                payload = produce(chunk, tid)
+                return payload, time.perf_counter() - start
 
         futures: list[tuple[int, np.ndarray, Future]] = [
             (tid, chunk, pool.submit(timed_produce, chunk, tid))
@@ -193,14 +199,16 @@ class ParallelExecutionEngine:
         ]
         # Round barrier (Fig. 5): the coordinator blocks until every private
         # produce is done, then replays commits in chunk order.
-        barrier_start = time.perf_counter()
-        wait([fut for _, _, fut in futures])
-        barrier_wait = time.perf_counter() - barrier_start
+        with trace_span("barrier.wait", "parallel", chunks=len(futures)):
+            barrier_start = time.perf_counter()
+            wait([fut for _, _, fut in futures])
+            barrier_wait = time.perf_counter() - barrier_start
         worker_times: dict[int, float] = {}
-        for tid, chunk, fut in futures:
-            payload, elapsed = fut.result()
-            worker_times[tid] = worker_times.get(tid, 0.0) + elapsed
-            commit(chunk, tid, payload)
+        with trace_span("commit.replay", "parallel", ordered=True):
+            for tid, chunk, fut in futures:
+                payload, elapsed = fut.result()
+                worker_times[tid] = worker_times.get(tid, 0.0) + elapsed
+                commit(chunk, tid, payload)
         self._record(worker_times, barrier_wait)
 
     def _run_round_unordered(
@@ -218,13 +226,17 @@ class ParallelExecutionEngine:
         times_lock = threading.Lock()
 
         def produce_and_commit(chunk: np.ndarray, tid: int) -> None:
-            start = time.perf_counter()
-            payload = produce(chunk, tid)
-            elapsed = time.perf_counter() - start
+            with trace_span(
+                "worker.produce", "parallel", worker=tid, chunk=int(len(chunk))
+            ):
+                start = time.perf_counter()
+                payload = produce(chunk, tid)
+                elapsed = time.perf_counter() - start
             # Relaxed ordering: commits interleave in completion order; the
             # lock guards the shared commit path, not a global round order.
-            with self._commit_lock:
-                commit(chunk, tid, payload)
+            with trace_span("commit", "parallel", worker=tid, ordered=False):
+                with self._commit_lock:
+                    commit(chunk, tid, payload)
             with times_lock:
                 worker_times[tid] = worker_times.get(tid, 0.0) + elapsed
 

@@ -20,9 +20,30 @@ rounds, fewer synchronizations, balanced thread work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
-__all__ = ["RuntimeStats", "CostModel", "DEFAULT_COST_MODEL"]
+__all__ = [
+    "RuntimeStats",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "PARALLEL_ONLY_FIELDS",
+    "WALL_CLOCK_FIELDS",
+]
+
+# Fields only the real-parallel engine populates.  Excluded (together with
+# the wall-clock fields) from oracle comparisons: a parallel run is compared
+# to the sequential oracle on every *deterministic* counter.
+PARALLEL_ONLY_FIELDS = (
+    "execution",
+    "parallel_rounds",
+    "barrier_waits",
+    "barrier_wait_time",
+    "worker_wall_time",
+)
+
+# Fields derived from wall-clock measurements — inherently nondeterministic,
+# never part of any bit-identical comparison.
+WALL_CLOCK_FIELDS = ("barrier_wait_time", "worker_wall_time", "phase_timings")
 
 
 @dataclass(frozen=True)
@@ -83,6 +104,12 @@ class RuntimeStats:
     barrier_waits: int = 0
     barrier_wait_time: float = 0.0
     worker_wall_time: dict[int, float] = field(default_factory=dict)
+    # Timestamped phase timings (tracing subsystem).  Each entry is
+    # {"phase": str, "start_us": float, "dur_us": float}, appended only
+    # while a tracer is active (obs.stat_span), so untraced runs — the
+    # differential oracle included — keep this empty and their stat dumps
+    # bit-identical across releases.
+    phase_timings: list[dict] = field(default_factory=list)
     _current_work: list[int] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
@@ -140,6 +167,71 @@ class RuntimeStats:
                 self.worker_wall_time.get(thread_id, 0.0) + float(seconds)
             )
 
+    def record_phase(self, phase: str, start_us: float, dur_us: float) -> None:
+        """Append one timestamped phase timing (tracing-on runs only).
+
+        Called by :func:`repro.obs.stat_span`; the timestamps are
+        microseconds on the active tracer's clock, so phase timings line up
+        with the Chrome-trace spans of the same run.
+        """
+        self.phase_timings.append(
+            {"phase": phase, "start_us": float(start_us), "dur_us": float(dur_us)}
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Full JSON-safe serialization with deterministic key order.
+
+        Keys follow field declaration order (stable across calls and
+        processes); ``worker_wall_time`` serializes with *string* keys in
+        ascending numeric order, because JSON objects cannot carry int keys
+        and a round-trip through ``json.dumps``/``loads`` must be lossless.
+        The private ``_current_work`` accumulator is never serialized.
+        """
+        out: dict = {}
+        for spec in fields(self):
+            if spec.name.startswith("_"):
+                continue
+            value = getattr(self, spec.name)
+            if spec.name == "worker_wall_time":
+                value = {
+                    str(tid): float(value[tid]) for tid in sorted(value)
+                }
+            elif isinstance(value, list):
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RuntimeStats":
+        """Inverse of :meth:`to_dict` (tolerates missing newer fields)."""
+        known = {spec.name for spec in fields(cls) if not spec.name.startswith("_")}
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        if "worker_wall_time" in kwargs:
+            kwargs["worker_wall_time"] = {
+                int(tid): float(seconds)
+                for tid, seconds in kwargs["worker_wall_time"].items()
+            }
+        return cls(**kwargs)
+
+    def deterministic_dict(self) -> dict:
+        """The oracle-comparison dump: every deterministic counter, no
+        wall-clock-dependent and no parallel-only fields.
+
+        A parallel run and the sequential oracle must agree on this dict
+        bit for bit (the contract the differential test layer enforces);
+        the excluded fields are exactly :data:`PARALLEL_ONLY_FIELDS` and
+        :data:`WALL_CLOCK_FIELDS`.
+        """
+        excluded = set(PARALLEL_ONLY_FIELDS) | set(WALL_CLOCK_FIELDS)
+        return {
+            key: value
+            for key, value in self.to_dict().items()
+            if key not in excluded
+        }
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
@@ -189,6 +281,7 @@ class RuntimeStats:
             self.worker_wall_time[thread_id] = (
                 self.worker_wall_time.get(thread_id, 0.0) + seconds
             )
+        self.phase_timings.extend(other.phase_timings)
 
     def parallel_summary(self) -> dict[str, float]:
         """Headline numbers for the real-parallel engine (zeros when serial)."""

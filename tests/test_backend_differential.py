@@ -21,7 +21,10 @@ from repro.lang import ALL_PROGRAMS
 from repro.midend import Schedule
 
 GXX = shutil.which("g++")
-pytestmark = pytest.mark.skipif(GXX is None, reason="g++ not available")
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(GXX is None, reason="g++ not available"),
+]
 
 SSSP_STRATEGIES = ("lazy", "eager_no_fusion", "eager_with_fusion")
 KCORE_STRATEGIES = ("lazy", "lazy_constant_sum", "eager_no_fusion")

@@ -120,6 +120,142 @@ class TestRun:
         assert "vector D:" in capsys.readouterr().out
 
 
+class TestTraceAndProfile:
+    def test_trace_writes_valid_chrome_json(self, graph_file, tmp_path, capsys):
+        from repro.obs import get_tracer, load_chrome_trace
+
+        path, _, source = graph_file
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "sssp",
+                path,
+                str(source),
+                "--priority-update",
+                "eager_with_fusion",
+                "--delta",
+                "8",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert get_tracer() is None  # the CLI deactivated its tracer
+        payload = load_chrome_trace(str(out))  # validates on load
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "compile" in names and "bucket.advance" in names
+        assert payload["metadata"]["schedule"]["priority_update"] == (
+            "eager_with_fusion"
+        )
+        assert "trace events" in capsys.readouterr().out
+
+    def test_trace_synthetic_graph_and_parallel_spans(self, tmp_path):
+        from repro.obs import load_chrome_trace
+
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "sssp",
+                "--execution",
+                "parallel",
+                "--threads",
+                "4",
+                "--delta",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        names = {e["name"] for e in load_chrome_trace(str(out))["traceEvents"]}
+        assert "worker.produce" in names and "barrier.wait" in names
+
+    def test_profile_prints_table(self, graph_file, capsys):
+        path, _, source = graph_file
+        code = main(["profile", "sssp", path, str(source), "--delta", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self ms" in out
+        assert "program.run" in out
+
+
+class TestBenchCheck:
+    def test_bench_check_passes_and_fails_on_tolerance(
+        self, tmp_path, capsys
+    ):
+        """Generate real (tiny) baselines, then check against them twice:
+        honestly (passes) and with an impossible baseline (fails)."""
+        import json
+
+        kernels = tmp_path / "BENCH_apply.json"
+        parallel = tmp_path / "BENCH_parallel.json"
+        assert (
+            main(
+                [
+                    "bench-kernels",
+                    "--scale",
+                    "9",
+                    "--repeats",
+                    "1",
+                    "-o",
+                    str(kernels),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "bench-parallel",
+                    "--scale",
+                    "9",
+                    "--workers",
+                    "2",
+                    "--repeats",
+                    "1",
+                    "-o",
+                    str(parallel),
+                ]
+            )
+            == 0
+        )
+        args = [
+            "bench-check",
+            "--kernels-baseline",
+            str(kernels),
+            "--parallel-baseline",
+            str(parallel),
+            "--repeats",
+            "1",
+            "--out-dir",
+            str(tmp_path / "fresh"),
+        ]
+        code = main(args + ["--tolerance", "0.99"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "all checks passed" in out
+        assert "speedup" in out and "exact" in out
+
+        # An absurdly fast baseline must trip the perf gate.
+        record = json.loads(kernels.read_text())
+        record["speedup"] = 1e9
+        kernels.write_text(json.dumps(record))
+        code = main(args + ["--tolerance", "0.2"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "bench-check FAIL" in out
+        assert "regressed" in out
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path, capsys):
+        code = main(
+            ["bench-check", "--kernels-baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 1
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
 class TestAutotune:
     def test_autotune_sssp(self, graph_file, capsys):
         path, _, source = graph_file

@@ -24,6 +24,8 @@ from repro.midend import Schedule
 GXX = shutil.which("g++")
 needs_gxx = pytest.mark.skipif(GXX is None, reason="g++ not available")
 
+pytestmark = pytest.mark.slow
+
 
 def generate(name: str, schedule: Schedule) -> str:
     return compile_program(ALL_PROGRAMS[name], schedule, backend="cpp").source_text

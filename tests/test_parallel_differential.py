@@ -29,6 +29,8 @@ from repro.graph.generators import rmat, road_grid
 from repro.lang.programs import ALL_PROGRAMS
 from repro.midend.schedule import Schedule
 
+pytestmark = pytest.mark.slow
+
 WORKERS = (1, 2, 4, 8)
 
 # Stats fields that only the parallel engine populates; everything else must

@@ -36,6 +36,8 @@ from repro.lang.programs import ALL_PROGRAMS
 from repro.midend.analysis.diagnostics import Severity, lint_program
 from repro.midend.schedule import Schedule
 
+pytestmark = pytest.mark.slow
+
 PARALLEL_ONLY = {
     "execution",
     "parallel_rounds",

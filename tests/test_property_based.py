@@ -8,6 +8,7 @@ substrate (partitioning, edge gathering, dedup).
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +19,8 @@ from repro.graph.properties import INT_MAX
 from repro.midend import Schedule
 from repro.runtime import VirtualThreadPool, gather_out_edges
 from repro.runtime.histogram import apply_constant_sum
+
+pytestmark = pytest.mark.slow
 
 # ----------------------------------------------------------------------
 # Strategies

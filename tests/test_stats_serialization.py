@@ -1,0 +1,113 @@
+"""Serialization contract of :class:`RuntimeStats`.
+
+The satellite fix this pins down: the parallel-only fields must serialize
+deterministically — stable key order, string-keyed ``worker_wall_time`` that
+survives a JSON round trip losslessly — and the oracle-comparison dump
+(``deterministic_dict``) must exclude every wall-clock-dependent field.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime.stats import (
+    PARALLEL_ONLY_FIELDS,
+    WALL_CLOCK_FIELDS,
+    RuntimeStats,
+)
+
+
+def populated_stats() -> RuntimeStats:
+    stats = RuntimeStats(num_threads=4)
+    stats.begin_round()
+    stats.add_thread_work(0, 10)
+    stats.add_thread_work(3, 7)
+    stats.end_round(syncs=2, fused=1)
+    stats.relaxations = 17
+    stats.priority_updates = 5
+    stats.execution = "parallel"
+    stats.record_parallel_round({2: 0.5, 0: 0.25}, barrier_wait=0.125)
+    stats.record_phase("apply.push", 10.0, 250.0)
+    return stats
+
+
+class TestToDict:
+    def test_key_order_is_field_declaration_order(self):
+        keys = list(populated_stats().to_dict())
+        expected = [
+            name
+            for name in RuntimeStats.__dataclass_fields__
+            if not name.startswith("_")
+        ]
+        assert keys == expected
+
+    def test_key_order_stable_regardless_of_population_order(self):
+        a = RuntimeStats()
+        b = populated_stats()
+        assert list(a.to_dict()) == list(b.to_dict())
+
+    def test_private_accumulator_never_serialized(self):
+        stats = populated_stats()
+        stats.begin_round()  # leave a round open
+        assert "_current_work" not in stats.to_dict()
+
+    def test_worker_wall_time_string_keys_sorted_numerically(self):
+        stats = RuntimeStats(num_threads=16)
+        stats.record_parallel_round(
+            {10: 1.0, 2: 2.0, 0: 3.0}, barrier_wait=0.0
+        )
+        dumped = stats.to_dict()["worker_wall_time"]
+        assert list(dumped) == ["0", "2", "10"]
+        assert all(isinstance(k, str) for k in dumped)
+
+    def test_json_round_trip_lossless(self):
+        stats = populated_stats()
+        restored = RuntimeStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert restored.to_dict() == stats.to_dict()
+        # int keys restored on the live object
+        assert restored.worker_wall_time == {0: 0.25, 2: 0.5}
+        assert restored.phase_timings == stats.phase_timings
+
+    def test_from_dict_tolerates_missing_and_unknown_fields(self):
+        restored = RuntimeStats.from_dict(
+            {"rounds": 3, "not_a_field": 99, "relaxations": 7}
+        )
+        assert restored.rounds == 3
+        assert restored.relaxations == 7
+        assert restored.phase_timings == []
+        assert restored.worker_wall_time == {}
+
+
+class TestDeterministicDict:
+    def test_excludes_parallel_only_and_wall_clock_fields(self):
+        dump = populated_stats().deterministic_dict()
+        for name in set(PARALLEL_ONLY_FIELDS) | set(WALL_CLOCK_FIELDS):
+            assert name not in dump
+        assert "rounds" in dump and "relaxations" in dump
+
+    def test_oracle_and_parallel_agree_after_wall_clock_divergence(self):
+        oracle = populated_stats()
+        parallel = populated_stats()
+        # Perturb only nondeterministic observables.
+        parallel.barrier_wait_time += 1.0
+        parallel.worker_wall_time[2] += 9.0
+        parallel.record_phase("apply.push", 99.0, 1.0)
+        parallel.parallel_rounds += 5
+        assert oracle.deterministic_dict() == parallel.deterministic_dict()
+
+    def test_deterministic_dict_diverges_on_real_counters(self):
+        a = populated_stats()
+        b = populated_stats()
+        b.relaxations += 1
+        assert a.deterministic_dict() != b.deterministic_dict()
+
+
+class TestMerge:
+    def test_merge_extends_phase_timings(self):
+        a = populated_stats()
+        b = populated_stats()
+        a.merge(b)
+        assert len(a.phase_timings) == 2
+        assert a.worker_wall_time == {0: 0.5, 2: 1.0}
