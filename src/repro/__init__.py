@@ -55,6 +55,7 @@ from .errors import (
 )
 from .graph import CSRGraph, GraphBuilder, VertexSet, VertexVector
 from .midend import Schedule, SchedulingProgram
+from .runtime.sanitizer import SanitizerError
 
 __version__ = "1.0.0"
 
@@ -89,6 +90,7 @@ __all__ = [
     "SchedulingError",
     "CompileError",
     "PriorityQueueError",
+    "SanitizerError",
     "AutotuneError",
     "__version__",
 ]

@@ -9,7 +9,7 @@ matching relaxer, and drive the matching executor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

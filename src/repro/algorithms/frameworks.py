@@ -32,8 +32,6 @@ algorithm (the gray cells of Figure 4).
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from ..buckets.lazy import LazyBucketQueue

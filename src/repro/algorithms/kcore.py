@@ -26,7 +26,7 @@ import numpy as np
 
 from ..buckets.eager import EagerBucketQueue
 from ..buckets.lazy import LazyBucketQueue
-from ..errors import GraphError, SchedulingError
+from ..errors import SchedulingError
 from ..graph.csr import CSRGraph
 from ..midend.schedule import Schedule
 from ..runtime.frontier import gather_out_edges

@@ -9,8 +9,6 @@ relaxations (weighted graphs, and most dramatically road networks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from ..graph.csr import CSRGraph

@@ -9,7 +9,7 @@ DensePull, coarsening for strict-priority algorithms) are never generated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,11 @@ Mirrors the GraphIt compiler's command-line workflow:
 - ``autotune`` — search for a schedule for an algorithm/graph pair.
 - ``lint`` — run the midend diagnostics engine (race/atomicity analysis,
   IR validator, schedule–program compatibility) over one or more programs
-  and print structured ``file:line:col: severity[CODE]: message`` findings.
+  and print structured ``file:line:col: severity[CODE]: message`` findings
+  (``--format json`` emits a machine-readable document instead).
+- ``analyze`` — print the whole-program effect analysis (per-UDF
+  read/write/index sets, monotonicity verdicts with schedule
+  admissibility, pairwise fusion-safety) as text or JSON.
 - ``trace`` — compile and run a program under the tracer and write a
   Chrome-trace-format JSON (loadable in Perfetto / ``chrome://tracing``).
 - ``profile`` — same traced run, printed as a self-time profile table.
@@ -25,6 +29,7 @@ Examples::
     python -m repro run sssp social.el 0 --priority-update eager_with_fusion --delta 32
     python -m repro autotune sssp social.el --trials 30
     python -m repro lint sssp kcore examples/my_prog.gt --werror
+    python -m repro analyze sssp widest --format json
     python -m repro trace examples/sssp_delta.gt --out trace.json
     python -m repro profile sssp --execution parallel --threads 4
     python -m repro bench-check --tolerance 0.2
@@ -97,6 +102,7 @@ def _schedule_from_args(args: argparse.Namespace) -> Schedule:
         direction=args.direction,
         num_threads=args.threads,
         execution=getattr(args, "execution", "serial"),
+        sanitize=getattr(args, "sanitize", False),
     )
 
 
@@ -139,6 +145,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"syncs={stats.global_syncs} relaxations={stats.relaxations} "
         f"simulated_time={stats.simulated_time():.0f}"
     )
+    sanitizer = result.context.sanitizer
+    if sanitizer is not None:
+        udfs = sorted({entry["udf"] for entry in sanitizer.log})
+        print(
+            f"sanitizer: {len(sanitizer.log)} apply scopes validated "
+            f"against the static effect summary (udfs: {', '.join(udfs)})"
+        )
     for name, value in sorted(result.globals.items()):
         if isinstance(value, np.ndarray):
             finite = value[np.abs(value) < 2**62]
@@ -203,6 +216,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             direction=args.direction,
         )
 
+    as_json = getattr(args, "format", "text") == "json"
+    findings: list[dict] = []
     total_errors = 0
     total_warnings = 0
     for name in args.programs:
@@ -214,7 +229,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             include_info=args.info,
         )
         for diagnostic in diagnostics:
-            print(render_diagnostic(diagnostic))
+            if as_json:
+                findings.append(
+                    {
+                        "code": diagnostic.code,
+                        "severity": str(diagnostic.severity),
+                        "span": {
+                            "file": diagnostic.span.file or name,
+                            "line": diagnostic.span.line,
+                            "column": diagnostic.span.column,
+                        },
+                        "message": diagnostic.message,
+                    }
+                )
+            else:
+                print(render_diagnostic(diagnostic))
         total_errors += sum(
             1 for d in diagnostics if d.severity is Severity.ERROR
         )
@@ -222,14 +251,51 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             1 for d in diagnostics if d.severity is Severity.WARNING
         )
 
+    failed = bool(total_errors or (args.werror and total_warnings))
     checked = len(args.programs)
-    print(
-        f"checked {checked} program{'s' if checked != 1 else ''}: "
-        f"{total_errors} error(s), {total_warnings} warning(s)"
-        + (" [-Werror]" if args.werror and total_warnings else "")
-    )
-    if total_errors or (args.werror and total_warnings):
-        return 1
+    if as_json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "diagnostics": findings,
+                    "checked": checked,
+                    "errors": total_errors,
+                    "warnings": total_warnings,
+                    "werror": bool(args.werror),
+                    "ok": not failed,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"checked {checked} program{'s' if checked != 1 else ''}: "
+            f"{total_errors} error(s), {total_warnings} warning(s)"
+            + (" [-Werror]" if args.werror and total_warnings else "")
+        )
+    return 1 if failed else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analyze import build_analysis_document, render_analysis_text
+
+    schedule: Schedule | None = None
+    if args.priority_update is not None:
+        schedule = Schedule(
+            priority_update=args.priority_update,
+            delta=args.delta,
+            direction=args.direction,
+        )
+    sources = {name: _load_source(name) for name in args.programs}
+    document = build_analysis_document(sources, schedule)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(document, indent=2))
+    else:
+        sys.stdout.write(render_analysis_text(document))
     return 0
 
 
@@ -796,6 +862,12 @@ def build_parser() -> argparse.ArgumentParser:
         "args", nargs="*", help="extra argv for the program (e.g. start vertex)"
     )
     _add_schedule_arguments(run_parser)
+    run_parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="validate every apply operator against the static effect "
+        "summary at runtime (fails loudly on any unreported access)",
+    )
     run_parser.set_defaults(handler=_cmd_run)
 
     generate_parser = commands.add_parser(
@@ -859,7 +931,46 @@ def build_parser() -> argparse.ArgumentParser:
     lint_group.add_argument(
         "--direction", default="SparsePush", choices=("SparsePush", "DensePull")
     )
+    lint_parser.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="text prints file:line:col diagnostics; json emits one "
+        "machine-readable document (code, severity, span, message)",
+    )
     lint_parser.set_defaults(handler=_cmd_lint)
+
+    analyze_parser = commands.add_parser(
+        "analyze",
+        help="print the whole-program effect analysis: per-UDF read/write "
+        "sets, monotonicity verdicts, and the fusion-safety matrix",
+    )
+    analyze_parser.add_argument(
+        "programs",
+        nargs="+",
+        help=f".gt files and/or built-ins: {', '.join(sorted(ALL_PROGRAMS))}",
+    )
+    analyze_parser.add_argument(
+        "--format", default="text", choices=("text", "json")
+    )
+    analyze_group = analyze_parser.add_argument_group(
+        "schedule to analyze under (default: the program's own / a feasible one)"
+    )
+    analyze_group.add_argument(
+        "--priority-update",
+        default=None,
+        choices=(
+            "eager_with_fusion",
+            "eager_no_fusion",
+            "lazy",
+            "lazy_constant_sum",
+        ),
+    )
+    analyze_group.add_argument("--delta", type=int, default=1)
+    analyze_group.add_argument(
+        "--direction", default="SparsePush", choices=("SparsePush", "DensePull")
+    )
+    analyze_parser.set_defaults(handler=_cmd_analyze)
 
     bench_parser = commands.add_parser(
         "bench-kernels",

@@ -70,6 +70,24 @@ class SchedulingError(GraphItError):
     """Raised for invalid schedules or illegal optimization combinations."""
 
 
+class MonotonicityError(SchedulingError):
+    """Raised when a relaxed/fused schedule requires a monotone priority
+    update the effect analysis could not prove (diagnostic ``M001``).
+
+    ``eager_with_fusion`` drains same-bucket insertions locally, out of the
+    global bucket order; that is only sound when every priority update moves
+    priorities toward the processing front.  The carried span points at the
+    offending update site.
+    """
+
+    def __init__(self, message: str, *, span: "Span | None" = None):
+        # The span is carried for the diagnostics engine but deliberately not
+        # passed to GraphItError: lint renders the location itself and would
+        # otherwise print it twice.
+        super().__init__(message)
+        self.span = span
+
+
 class CompileError(GraphItError):
     """Raised when the midend or a backend cannot lower a program."""
 

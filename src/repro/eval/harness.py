@@ -13,8 +13,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..algorithms.frameworks import ALGORITHMS, FRAMEWORKS, run_framework, supports
 from ..errors import GraphItError
 from ..obs import get_tracer, span as trace_span, tracing, write_chrome_trace

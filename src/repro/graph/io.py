@@ -8,7 +8,6 @@ support both the graph file and the coordinate companion file.
 from __future__ import annotations
 
 import os
-from typing import TextIO
 
 import numpy as np
 

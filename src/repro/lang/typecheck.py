@@ -25,7 +25,6 @@ from .types import (
     ElementType,
     FunctionType,
     PriorityQueueType,
-    ScalarType,
     Type,
     VectorType,
     VertexSetType,

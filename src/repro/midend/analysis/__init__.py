@@ -1,7 +1,19 @@
 """Program analyses: UDF priority updates, dependences, loop patterns,
-race/atomicity classification, and the diagnostics engine."""
+race/atomicity classification, whole-program effect summaries, and the
+diagnostics engine."""
 
 from .dependence import DependenceInfo, analyze_dependences
+from .effects import (
+    FusionVerdict,
+    Monotonicity,
+    MonotonicityVerdict,
+    ProgramEffectSummary,
+    UDFEffectSummary,
+    analyze_program_effects,
+    check_fusion_safety,
+    fusion_matrix,
+    summarize_udf,
+)
 from .diagnostics import (
     DIAGNOSTIC_CODES,
     Diagnostic,
@@ -44,4 +56,13 @@ __all__ = [
     "render_diagnostic",
     "validate_ir",
     "validate_ir_or_raise",
+    "FusionVerdict",
+    "Monotonicity",
+    "MonotonicityVerdict",
+    "ProgramEffectSummary",
+    "UDFEffectSummary",
+    "analyze_program_effects",
+    "check_fusion_safety",
+    "fusion_matrix",
+    "summarize_udf",
 ]

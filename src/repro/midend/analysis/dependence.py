@@ -14,6 +14,12 @@ twice is incorrect — i.e. for ``updatePrioritySum`` UDFs such as k-core
 (Section 5.1: "Deduplication is required for correctness for applications
 such as k-core").  Min/max updates are idempotent, so deduplication there is
 an optimization rather than a correctness requirement.
+
+Since the effect-analysis framework landed, this module derives its write
+lists from the :class:`~repro.midend.analysis.effects.UDFEffectSummary`
+access records rather than walking the IR itself; the projection preserves
+the historical order (assignments first, priority updates after) and
+duplicate entries.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...lang import ast_nodes as ast
-from .udf_analysis import PriorityUpdate, find_priority_updates
+from .effects.model import AccessKind, TargetKind, UDFEffectSummary
 
 __all__ = ["DependenceInfo", "analyze_dependences"]
 
@@ -37,21 +43,16 @@ class DependenceInfo:
     needs_deduplication: bool
 
 
-def _written_vectors(func: ast.FuncDecl, parameter: str) -> list[str]:
+def _written_vectors(summary: UDFEffectSummary, parameter: str) -> list[str]:
     """Vector names assigned at index ``parameter`` anywhere in the UDF."""
-    names: list[str] = []
-    for node in ast.walk(func):
-        if not isinstance(node, ast.Assign):
-            continue
-        target = node.target
-        if (
-            isinstance(target, ast.Index)
-            and isinstance(target.base, ast.Name)
-            and isinstance(target.index, ast.Name)
-            and target.index.identifier == parameter
-        ):
-            names.append(target.base.identifier)
-    return names
+    return [
+        access.base
+        for access in summary.accesses
+        if access.kind is AccessKind.WRITE
+        and access.target_kind is TargetKind.VECTOR
+        and access.base != "<expr>"
+        and access.index_name == parameter
+    ]
 
 
 def analyze_dependences(
@@ -65,25 +66,25 @@ def analyze_dependences(
     Priority updates targeting the destination count as destination writes
     (the update operator writes the priority vector internally).
     """
-    parameters = [name for name, _ in func.parameters]
-    src_param = parameters[0] if parameters else "src"
-    dst_param = parameters[1] if len(parameters) > 1 else "dst"
+    from .effects.analysis import summarize_udf
 
-    destination_writes = _written_vectors(func, dst_param)
-    source_writes = _written_vectors(func, src_param)
+    summary = summarize_udf(func, queue_names, direction)
+    return dependences_from_effects(summary, direction)
 
-    updates: list[PriorityUpdate] = find_priority_updates(func, queue_names)
-    for update in updates:
-        if (
-            isinstance(update.vertex_arg, ast.Name)
-            and update.vertex_arg.identifier == dst_param
-        ):
-            destination_writes.append(f"priority({update.queue_name})")
-        elif (
-            isinstance(update.vertex_arg, ast.Name)
-            and update.vertex_arg.identifier == src_param
-        ):
-            source_writes.append(f"priority({update.queue_name})")
+
+def dependences_from_effects(
+    summary: UDFEffectSummary, direction: str
+) -> DependenceInfo:
+    """Project an effect summary onto the atomics/deduplication decision."""
+    destination_writes = _written_vectors(summary, summary.dst_param)
+    source_writes = _written_vectors(summary, summary.src_param)
+
+    updates = [a.update for a in summary.priority_updates if a.update is not None]
+    for access in summary.priority_updates:
+        if access.index_name == summary.dst_param:
+            destination_writes.append(f"priority({access.base})")
+        elif access.index_name == summary.src_param:
+            source_writes.append(f"priority({access.base})")
 
     if direction == "DensePull":
         needs_atomics = bool(source_writes)

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field, replace
 from ...errors import (
     CompileError,
     IRValidationError,
+    MonotonicityError,
     ParseError,
     SchedulingError,
     TypeCheckError,
@@ -80,6 +81,7 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "R001": "non-atomic write to shared state under a parallel schedule",
     "R002": "benign race: guarded monotonic test-and-set (note)",
     "R003": "sum update requires clamped fetch_add + deduplication (note)",
+    "M001": "relaxed/fused schedule requires a monotone priority update",
     # V1xx: UDF vectorization pass (batch-kernel classification).
     "V101": "apply UDF fell back to the scalar interpreter (not vectorizable)",
 }
@@ -124,6 +126,36 @@ def _sorted(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
     return sorted(
         diagnostics, key=lambda d: (d.span.line, d.span.column, d.severity, d.code)
     )
+
+
+# ----------------------------------------------------------------------
+# Span fallbacks: every diagnostic must carry a *resolvable* span
+# ----------------------------------------------------------------------
+def _fallback_span(file: str | None) -> Span:
+    """The top-of-file anchor used when no better location exists.
+
+    Line 1 / column 1 is always resolvable in an editor, unlike the
+    historical ``Span(file=...)`` dummy that rendered as ``?:?``.
+    """
+    return Span(line=1, column=1, file=file)
+
+
+def _located(span: Span | None, file: str | None) -> Span:
+    """``span`` when it points at real source, else the file's anchor."""
+    if span is not None and span.is_known:
+        return span.with_file(span.file or file)
+    return _fallback_span(file)
+
+
+def _program_anchor(program: ast.Program) -> Span:
+    """The first located declaration of the program (fallback: line 1)."""
+    file = program.source_file
+    for group in (program.functions, program.constants, program.elements):
+        for node in group:
+            span = Span.from_node(node, file=file)
+            if span.is_known:
+                return span
+    return _fallback_span(file)
 
 
 # ----------------------------------------------------------------------
@@ -210,7 +242,7 @@ def validate_ir(
                 code="V002",
                 severity=Severity.ERROR,
                 message="program has no main function",
-                span=Span.from_node(program, file=file),
+                span=_program_anchor(program),
             )
         )
 
@@ -298,7 +330,7 @@ def validate_ir(
                         "histogram schedule reached the backend without a "
                         "transformed UDF (lowering did not run)"
                     ),
-                    span=Span.from_node(program, file=file),
+                    span=_program_anchor(program),
                 )
             )
         if transformed_udf is not None:
@@ -438,7 +470,7 @@ def check_schedule_compat(
                             f"parallelization={final.parallelization!r}: "
                             f"{why}"
                         ),
-                        span=label_spans.get(label, Span(file=file)),
+                        span=label_spans.get(label, _fallback_span(file)),
                     )
                 )
     return _sorted(found)
@@ -447,13 +479,21 @@ def check_schedule_compat(
 def _schedule_command_span(program: ast.Program, label: str) -> Span:
     """Locate a misspelled label at the inline schedule command naming it.
 
-    Falls back to an unknown span when the scheduling program was built
-    through the Python API (no source location exists).
+    When the scheduling program was built through the Python API (no inline
+    command exists), fall back to the closest actual label's statement, then
+    to the first labeled statement, then to the program's first declaration —
+    every S001 stays anchored to real source.
     """
     for statement in program.schedule:
         if statement.arguments and statement.arguments[0] == label:
             return Span.from_node(statement, file=program.source_file)
-    return Span(file=program.source_file)
+    label_spans = _label_spans(program)
+    suggestion = _closest(label, set(label_spans))
+    if suggestion is not None:
+        return label_spans[suggestion]
+    if label_spans:
+        return min(label_spans.values())
+    return _program_anchor(program)
 
 
 def _label_spans(program: ast.Program) -> dict[str, Span]:
@@ -496,13 +536,12 @@ def lint_program(
     try:
         program = parse(source, filename)
     except ParseError as error:
-        span = error.span if error.span is not None else Span(file=filename)
         return [
             Diagnostic(
                 code="P001",
                 severity=Severity.ERROR,
                 message=str(error),
-                span=span.with_file(span.file or filename),
+                span=_located(getattr(error, "span", None), filename),
             )
         ]
 
@@ -514,7 +553,7 @@ def lint_program(
                 code="T001",
                 severity=Severity.ERROR,
                 message=str(error),
-                span=getattr(error, "span", None) or Span(file=filename),
+                span=_located(getattr(error, "span", None), filename),
             )
         )
         return _sorted(found)
@@ -538,7 +577,7 @@ def lint_program(
                     code="S003",
                     severity=Severity.ERROR,
                     message=str(error),
-                    span=getattr(error, "span", None) or Span(file=filename),
+                    span=_located(getattr(error, "span", None), filename),
                 )
             )
             return _sorted(found)
@@ -560,13 +599,22 @@ def lint_program(
             # still lint clean under the lazy strategy they require.
             plan = plan_program(program, Schedule(priority_update="lazy"))
             resolved = plan.schedule
+    except MonotonicityError as error:
+        found.append(
+            Diagnostic(
+                code="M001",
+                severity=Severity.ERROR,
+                message=str(error),
+                span=_located(getattr(error, "span", None), filename),
+            )
+        )
     except SchedulingError as error:
         found.append(
             Diagnostic(
                 code="S003",
                 severity=Severity.ERROR,
                 message=str(error),
-                span=getattr(error, "span", None) or Span(file=filename),
+                span=_located(getattr(error, "span", None), filename),
             )
         )
     except CompileError as error:
@@ -575,7 +623,7 @@ def lint_program(
                 code="V003",
                 severity=Severity.ERROR,
                 message=str(error),
-                span=getattr(error, "span", None) or Span(file=filename),
+                span=_located(getattr(error, "span", None), filename),
             )
         )
 
@@ -619,9 +667,7 @@ def lint_program(
                         f"UDF {vec_report.udf_name!r} falls back to the "
                         f"scalar interpreter: {vec_report.reason}"
                     ),
-                    span=vec_report.span.with_file(
-                        vec_report.span.file or filename
-                    ),
+                    span=_located(vec_report.span, filename),
                 )
             )
 

@@ -1,0 +1,54 @@
+"""Whole-program effect analysis over the midend IR.
+
+The package computes, per UDF and per apply operator: def-use chains,
+direction-aware read/write sets on every property vector, shared scalar and
+priority queue (may- vs must-write, index provenance), a monotonicity
+verdict per priority update gating relaxed-schedule admissibility (``M001``),
+and a pairwise fusion-safety relation between programs.  The race and
+dependence analyses are thin consumers of these summaries; the runtime
+schedule sanitizer checks real executions against them.
+"""
+
+from .analysis import (
+    analyze_program_effects,
+    extract_queue_info,
+    is_guarded_monotonic,
+    summarize_udf,
+)
+from .fusion import FusionVerdict, check_fusion_safety, fusion_matrix
+from .model import (
+    Access,
+    AccessKind,
+    DefUseChains,
+    IndexProvenance,
+    ProgramEffectSummary,
+    QueueInfo,
+    TargetKind,
+    UDFEffectSummary,
+)
+from .monotonicity import (
+    Monotonicity,
+    MonotonicityVerdict,
+    classify_udf_monotonicity,
+)
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "DefUseChains",
+    "FusionVerdict",
+    "IndexProvenance",
+    "Monotonicity",
+    "MonotonicityVerdict",
+    "ProgramEffectSummary",
+    "QueueInfo",
+    "TargetKind",
+    "UDFEffectSummary",
+    "analyze_program_effects",
+    "check_fusion_safety",
+    "classify_udf_monotonicity",
+    "extract_queue_info",
+    "fusion_matrix",
+    "is_guarded_monotonic",
+    "summarize_udf",
+]

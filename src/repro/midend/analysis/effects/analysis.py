@@ -1,0 +1,443 @@
+"""The effect-summary construction walk.
+
+:func:`summarize_udf` turns one edge UDF into a
+:class:`~repro.midend.analysis.effects.model.UDFEffectSummary`: a guard-aware
+statement-order walk collects every write to potentially-shared state (the
+same walk order the race classification historically used), a pre-order
+expression walk collects the reads, and a name-resolution pass builds the
+def-use chains of the UDF's locals.
+
+:func:`analyze_program_effects` lifts that to the whole program: it extracts
+the construction-time metadata of every priority queue (processing order and
+the concrete priority vector), summarizes every apply-site UDF under the
+active traversal direction, and attaches the monotonicity verdicts.
+"""
+
+from __future__ import annotations
+
+from ....lang import ast_nodes as ast
+from ....lang.span import Span
+from ....lang.types import PriorityQueueType
+from ...schedule import Schedule
+from ..udf_analysis import PriorityUpdate, find_priority_updates
+from .model import (
+    Access,
+    AccessKind,
+    DefUseChains,
+    IndexProvenance,
+    ProgramEffectSummary,
+    QueueInfo,
+    TargetKind,
+    UDFEffectSummary,
+)
+
+__all__ = [
+    "summarize_udf",
+    "analyze_program_effects",
+    "extract_queue_info",
+    "is_guarded_monotonic",
+]
+
+
+# ----------------------------------------------------------------------
+# Guarded-monotonic recognition (shared with the race analysis)
+# ----------------------------------------------------------------------
+def is_guarded_monotonic(
+    guards: list[ast.Expr],
+    base_name: str,
+    index: ast.Expr,
+) -> bool:
+    """Whether a write sits under a comparison against its own target.
+
+    This recognizes the A*/Bellman-Ford idiom::
+
+        if new_dist < dist[dst]
+            dist[dst] = new_dist;
+
+    The store may lose a concurrent smaller value, but the race is benign:
+    monotone relaxation re-delivers it (and in the paper's programs a
+    priority update follows that re-enqueues the vertex).
+    """
+    return _monotonic_guard(guards, base_name, index) is not None
+
+
+def _monotonic_guard(
+    guards: list[ast.Expr],
+    base_name: str,
+    index: ast.Expr,
+) -> ast.BinaryOp | None:
+    """The guard comparison reading the write's own target, if any."""
+    for guard in guards:
+        for node in ast.walk(guard):
+            if not isinstance(node, ast.BinaryOp):
+                continue
+            if node.operator not in ("<", ">", "<=", ">=", "!=", "=="):
+                continue
+            for side in (node.left, node.right):
+                if _same_indexed_read(side, base_name, index):
+                    return node
+    return None
+
+
+def _same_indexed_read(expr: ast.Expr, base_name: str, index: ast.Expr) -> bool:
+    return (
+        isinstance(expr, ast.Index)
+        and isinstance(expr.base, ast.Name)
+        and expr.base.identifier == base_name
+        and _same_simple_expr(expr.index, index)
+    )
+
+
+def _same_simple_expr(left: ast.Expr, right: ast.Expr) -> bool:
+    if isinstance(left, ast.Name) and isinstance(right, ast.Name):
+        return left.identifier == right.identifier
+    if isinstance(left, ast.IntLiteral) and isinstance(right, ast.IntLiteral):
+        return left.value == right.value
+    return False
+
+
+# ----------------------------------------------------------------------
+# Per-UDF summary
+# ----------------------------------------------------------------------
+def summarize_udf(
+    udf: ast.FuncDecl,
+    queue_names: set[str],
+    direction: str = "SparsePush",
+    source_file: str | None = None,
+) -> UDFEffectSummary:
+    """Build the effect summary of one edge UDF under one direction.
+
+    ``udf`` has parameters ``(src, dst[, weight])``.  Under push-direction
+    traversal the parallel loop owns sources; under pull it owns
+    destinations.
+    """
+    parameters = [name for name, _ in udf.parameters]
+    src_param = parameters[0] if parameters else "src"
+    dst_param = parameters[1] if len(parameters) > 1 else "dst"
+    if direction == "DensePull":
+        owned_param, foreign_param = dst_param, src_param
+    else:
+        owned_param, foreign_param = src_param, dst_param
+
+    local_names = set(parameters)
+    for node in ast.walk(udf):
+        if isinstance(node, ast.VarDecl):
+            local_names.add(node.name)
+
+    summary = UDFEffectSummary(
+        udf_name=udf.name,
+        direction=direction,
+        parameters=parameters,
+        src_param=src_param,
+        dst_param=dst_param,
+        owned_param=owned_param,
+        foreign_param=foreign_param,
+        local_names=local_names,
+    )
+    updates = {id(u.call): u for u in find_priority_updates(udf, queue_names)}
+
+    walker = _EffectWalker(summary, updates, source_file)
+    walker.walk_body(udf.body, guards=[], loop_depth=0)
+    summary.reads = _collect_reads(udf, summary, walker.write_index_ids, source_file)
+    summary.def_use = _collect_def_use(udf, local_names)
+    return summary
+
+
+class _EffectWalker:
+    """Statement-order walk collecting the write-side :class:`Access` list.
+
+    Mirrors the historical race-classification walk exactly: ``then`` bodies
+    under ``guards + [condition]``, ``else`` bodies under ``guards``, loop
+    bodies under the same guards, priority updates at their ``ExprStmt``.
+    """
+
+    def __init__(
+        self,
+        summary: UDFEffectSummary,
+        updates: dict[int, PriorityUpdate],
+        source_file: str | None,
+    ):
+        self.summary = summary
+        self.updates = updates
+        self.source_file = source_file
+        #: ids of Index nodes that are write targets (excluded from reads)
+        self.write_index_ids: set[int] = set()
+
+    def walk_body(
+        self, body: list[ast.Stmt], guards: list[ast.Expr], loop_depth: int
+    ) -> None:
+        for statement in body:
+            if isinstance(statement, ast.If):
+                inner = guards + [statement.condition]
+                self.walk_body(statement.then_body, inner, loop_depth)
+                self.walk_body(statement.else_body, guards, loop_depth)
+            elif isinstance(statement, (ast.While, ast.For)):
+                self.walk_body(statement.body, guards, loop_depth + 1)
+            elif isinstance(statement, ast.ExprStmt):
+                update = self.updates.get(id(statement.expression))
+                if update is not None:
+                    self._record_update(update, guards, loop_depth)
+            elif isinstance(statement, ast.Assign):
+                self._record_assign(statement, guards, loop_depth)
+
+    # -- update operators ------------------------------------------------
+    def _record_update(
+        self, update: PriorityUpdate, guards: list[ast.Expr], loop_depth: int
+    ) -> None:
+        vertex = update.vertex_arg
+        vertex_name = vertex.identifier if isinstance(vertex, ast.Name) else None
+        provenance = self._provenance(vertex)
+        self.summary.accesses.append(
+            Access(
+                node=update.call,
+                kind=AccessKind.PRIORITY_UPDATE,
+                target_kind=TargetKind.QUEUE,
+                base=update.queue_name,
+                rendered=f"priority({update.queue_name})",
+                span=Span.from_node(update.call, file=self.source_file),
+                index_name=vertex_name,
+                provenance=provenance,
+                owned=vertex_name == self.summary.owned_param,
+                must=not guards and loop_depth == 0,
+                guards=tuple(guards),
+                update=update,
+            )
+        )
+
+    # -- plain assignments ------------------------------------------------
+    def _record_assign(
+        self, assign: ast.Assign, guards: list[ast.Expr], loop_depth: int
+    ) -> None:
+        target = assign.target
+        span = Span.from_node(assign, file=self.source_file)
+        must = not guards and loop_depth == 0
+
+        if isinstance(target, ast.Name):
+            name = target.identifier
+            self.summary.accesses.append(
+                Access(
+                    node=assign,
+                    kind=AccessKind.WRITE,
+                    target_kind=TargetKind.SCALAR,
+                    base=name,
+                    rendered=name,
+                    span=span,
+                    must=must,
+                    guards=tuple(guards),
+                    constant_store=isinstance(
+                        assign.value, (ast.IntLiteral, ast.BoolLiteral)
+                    ),
+                    is_local=name in self.summary.local_names,
+                )
+            )
+            return
+
+        if not isinstance(target, ast.Index):
+            return  # not a shared-state write the model describes
+        self.write_index_ids.add(id(target))
+        base = target.base
+        index = target.index
+        base_name = base.identifier if isinstance(base, ast.Name) else "<expr>"
+        index_name = index.identifier if isinstance(index, ast.Name) else None
+        self.summary.accesses.append(
+            Access(
+                node=assign,
+                kind=AccessKind.WRITE,
+                target_kind=TargetKind.VECTOR,
+                base=base_name,
+                rendered=f"{base_name}[{index_name or '<expr>'}]",
+                span=span,
+                index_name=index_name,
+                provenance=self._provenance(index),
+                owned=index_name is not None
+                and index_name == self.summary.owned_param,
+                must=must,
+                guards=tuple(guards),
+                guarded_monotonic=is_guarded_monotonic(
+                    list(guards), base_name, index
+                ),
+            )
+        )
+
+    # -- index provenance -------------------------------------------------
+    def _provenance(self, index: ast.Expr) -> IndexProvenance:
+        if isinstance(index, ast.Name):
+            name = index.identifier
+            if name == self.summary.src_param:
+                return IndexProvenance.SRC
+            if name == self.summary.dst_param:
+                return IndexProvenance.DST
+            if name in self.summary.local_names:
+                return IndexProvenance.LOCAL
+            return IndexProvenance.UNKNOWN
+        if isinstance(index, ast.IntLiteral):
+            return IndexProvenance.CONSTANT
+        return IndexProvenance.UNKNOWN
+
+
+def _collect_reads(
+    udf: ast.FuncDecl,
+    summary: UDFEffectSummary,
+    write_index_ids: set[int],
+    source_file: str | None,
+) -> list[Access]:
+    """Every vector read: an ``Index`` node that is not a write target."""
+    walker = _EffectWalker(summary, {}, source_file)  # provenance helper only
+    reads: list[Access] = []
+    for node in ast.walk(udf):
+        if not isinstance(node, ast.Index) or id(node) in write_index_ids:
+            continue
+        base = node.base
+        if not isinstance(base, ast.Name):
+            continue
+        index = node.index
+        index_name = index.identifier if isinstance(index, ast.Name) else None
+        reads.append(
+            Access(
+                node=node,
+                kind=AccessKind.READ,
+                target_kind=TargetKind.VECTOR,
+                base=base.identifier,
+                rendered=f"{base.identifier}[{index_name or '<expr>'}]",
+                span=Span.from_node(node, file=source_file),
+                index_name=index_name,
+                provenance=walker._provenance(index),
+                owned=index_name is not None
+                and index_name == summary.owned_param,
+            )
+        )
+    return reads
+
+
+def _collect_def_use(udf: ast.FuncDecl, local_names: set[str]) -> DefUseChains:
+    """Def-use chains of the UDF's locals, keyed by name, as line lists."""
+    chains = DefUseChains()
+    def_name_ids: set[int] = set()
+    for node in ast.walk(udf):
+        if isinstance(node, ast.VarDecl) and node.name in local_names:
+            chains.defs.setdefault(node.name, []).append(node.line)
+        elif (
+            isinstance(node, ast.Assign)
+            and isinstance(node.target, ast.Name)
+            and node.target.identifier in local_names
+        ):
+            chains.defs.setdefault(node.target.identifier, []).append(node.line)
+            def_name_ids.add(id(node.target))
+    for name, _ in udf.parameters:
+        chains.defs.setdefault(name, []).append(udf.line)
+    for node in ast.walk(udf):
+        if (
+            isinstance(node, ast.Name)
+            and node.identifier in local_names
+            and id(node) not in def_name_ids
+        ):
+            chains.uses.setdefault(node.identifier, []).append(node.line)
+    return chains
+
+
+# ----------------------------------------------------------------------
+# Program-level summary
+# ----------------------------------------------------------------------
+def extract_queue_info(
+    program: ast.Program,
+    queue_names: set[str],
+    source_file: str | None = None,
+) -> dict[str, QueueInfo]:
+    """Construction-time queue metadata from ``new priority_queue`` sites.
+
+    The constructor signature is ``(allow_coarsening, order, priority_vector,
+    start_vertex)``; the order string and the vector name are what the
+    monotonicity and fusion analyses key on.
+    """
+    info = {name: QueueInfo(name=name) for name in queue_names}
+    for func in program.functions:
+        for node in ast.walk(func):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.target, ast.Name)
+                and node.target.identifier in queue_names
+                and isinstance(node.value, ast.New)
+                and isinstance(node.value.type, PriorityQueueType)
+            ):
+                continue
+            entry = info[node.target.identifier]
+            arguments = node.value.arguments
+            if arguments and isinstance(arguments[0], ast.BoolLiteral):
+                entry.allow_coarsening = arguments[0].value
+            if len(arguments) > 1 and isinstance(arguments[1], ast.StringLiteral):
+                entry.order = arguments[1].value
+            if len(arguments) > 2 and isinstance(arguments[2], ast.Name):
+                entry.priority_vector = arguments[2].identifier
+            entry.span = Span.from_node(node, file=source_file)
+    return info
+
+
+def _apply_site_udfs(program: ast.Program) -> list[str]:
+    """UDF names referenced by apply-style call sites, in program order."""
+    names: list[str] = []
+    for func in program.functions:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.MethodCall)
+                and node.method in ("applyUpdatePriority", "apply")
+                and node.arguments
+                and isinstance(node.arguments[0], ast.Name)
+                and node.arguments[0].identifier not in names
+            ):
+                names.append(node.arguments[0].identifier)
+    return names
+
+
+def analyze_program_effects(
+    program: ast.Program,
+    schedule: Schedule,
+    *,
+    queue_names: set[str] | None = None,
+    loop=None,
+    source_file: str | None = None,
+) -> ProgramEffectSummary:
+    """Summarize every apply-site UDF and attach monotonicity verdicts.
+
+    ``loop`` is the :class:`~repro.midend.analysis.loop_patterns
+    .OrderedLoopInfo` when the caller already recognized it (the lowering
+    pipeline); when omitted the loop is recognized here.
+    """
+    from .monotonicity import classify_udf_monotonicity
+
+    if queue_names is None:
+        queue_names = {
+            const.name
+            for const in program.constants
+            if isinstance(const.declared_type, PriorityQueueType)
+        }
+    if source_file is None:
+        source_file = program.source_file
+    if loop is None:
+        from ..loop_patterns import recognize_ordered_loop
+
+        main = program.function("main")
+        if main is not None:
+            loop = recognize_ordered_loop(main, queue_names)
+
+    summary = ProgramEffectSummary(
+        queues=extract_queue_info(program, queue_names, source_file),
+        direction=schedule.direction,
+    )
+    if loop is not None:
+        summary.has_ordered_loop = True
+        summary.loop_udf = loop.udf_name
+        summary.loop_queue = loop.queue_name
+        summary.uses_extern_processing = loop.extern_processor is not None
+
+    for name in _apply_site_udfs(program):
+        udf = program.function(name)
+        if udf is None:
+            continue  # unresolved symbol; the IR validator reports V001
+        udf_summary = summarize_udf(
+            udf, queue_names, schedule.direction, source_file
+        )
+        summary.udfs[name] = udf_summary
+        summary.monotonicity.extend(
+            classify_udf_monotonicity(udf_summary, summary.queues)
+        )
+    return summary

@@ -1,0 +1,176 @@
+"""Pairwise fusion-safety over program effect summaries.
+
+The multi-query fusion direction on the ROADMAP (GraFS-style) runs several
+ordered queries over the *same* graph in one traversal.  Two queries may
+share a traversal only when their effect summaries prove the merged schedule
+cannot change either query's result:
+
+1. Both programs must expose a recognized ordered-processing loop driving a
+   priority queue (there is no frontier structure to merge otherwise), and
+   neither may delegate bucket processing to an extern function the analysis
+   cannot see into.
+2. **Compatible frontier structure** — the queues must process in the same
+   order (``lower_first`` vs ``higher_first``) and follow the same update
+   discipline (min/max relaxation vs sum/decrement): a fused bucket walk has
+   one processing front and one bucket-update rule.
+3. **Disjoint write sets** — per-query property vectors are α-renamed apart
+   (each query instance owns fresh vectors), so the shared mutable state is
+   the scalar globals and the graph itself.  Any shared-scalar write in a
+   loop UDF couples the queries and blocks fusion; vector writes never
+   overlap after renaming.
+4. Every write in either loop UDF must be race-free under the fused parallel
+   traversal (owned, guarded-monotonic, or an update operator), and every
+   priority update must be monotone-admissible for its queue — fusing a
+   query whose own schedule admissibility is unproven would silently extend
+   the unsoundness to its partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import ProgramEffectSummary, TargetKind
+
+__all__ = ["FusionVerdict", "check_fusion_safety", "fusion_matrix"]
+
+
+@dataclass
+class FusionVerdict:
+    """Whether two programs' ordered traversals may be fused."""
+
+    first: str
+    second: str
+    fusable: bool
+    #: human-readable blockers; empty when fusable
+    reasons: list[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "pair": [self.first, self.second],
+            "fusable": self.fusable,
+            "reasons": list(self.reasons),
+        }
+
+
+def check_fusion_safety(
+    first_name: str,
+    first: ProgramEffectSummary,
+    second_name: str,
+    second: ProgramEffectSummary,
+) -> FusionVerdict:
+    """Decide fusion safety of two programs from their effect summaries."""
+    reasons: list[str] = []
+    reasons.extend(_structure_blockers(first_name, first))
+    reasons.extend(_structure_blockers(second_name, second))
+
+    if not reasons:
+        order_a = _loop_order(first)
+        order_b = _loop_order(second)
+        if order_a != order_b:
+            reasons.append(
+                f"processing-order mismatch: {first_name} processes "
+                f"{order_a!r} but {second_name} processes {order_b!r}; a "
+                f"fused traversal has a single processing front"
+            )
+        discipline_a = _update_discipline(first)
+        discipline_b = _update_discipline(second)
+        if discipline_a != discipline_b:
+            reasons.append(
+                f"update-discipline mismatch: {first_name} uses "
+                f"{discipline_a} updates but {second_name} uses "
+                f"{discipline_b} updates; bucket maintenance differs"
+            )
+
+    for name, summary in ((first_name, first), (second_name, second)):
+        reasons.extend(_effect_blockers(name, summary))
+
+    return FusionVerdict(
+        first=first_name,
+        second=second_name,
+        fusable=not reasons,
+        reasons=reasons,
+    )
+
+
+def _structure_blockers(name: str, summary: ProgramEffectSummary) -> list[str]:
+    if not summary.has_ordered_loop:
+        return [
+            f"{name} has no recognized ordered-processing loop to fuse into"
+        ]
+    if summary.uses_extern_processing:
+        return [
+            f"{name} delegates bucket processing to an extern function; "
+            f"its effects are not analyzable"
+        ]
+    return []
+
+
+def _loop_order(summary: ProgramEffectSummary) -> str | None:
+    if summary.loop_queue is None:
+        return None
+    info = summary.queues.get(summary.loop_queue)
+    return info.order if info is not None else None
+
+
+def _update_discipline(summary: ProgramEffectSummary) -> str:
+    """``"relaxation"`` (min/max) or ``"accumulation"`` (sum) of the loop UDF."""
+    udf = summary.udfs.get(summary.loop_udf or "")
+    if udf is None:
+        return "none"
+    ops = {
+        a.update.op
+        for a in udf.priority_updates
+        if a.update is not None
+    }
+    if ops <= {"min", "max"} and ops:
+        return "relaxation"
+    if ops == {"sum"}:
+        return "accumulation"
+    return "mixed" if ops else "none"
+
+
+def _effect_blockers(name: str, summary: ProgramEffectSummary) -> list[str]:
+    reasons: list[str] = []
+    udf = summary.udfs.get(summary.loop_udf or "")
+    if udf is not None:
+        for access in udf.write_accesses:
+            if access.target_kind is TargetKind.SCALAR:
+                reasons.append(
+                    f"{name}: UDF {udf.udf_name!r} writes the shared scalar "
+                    f"{access.base!r}; scalars are not renamed apart between "
+                    f"fused queries"
+                )
+            elif (
+                access.target_kind is TargetKind.VECTOR
+                and not access.owned
+                and not access.guarded_monotonic
+            ):
+                reasons.append(
+                    f"{name}: UDF {udf.udf_name!r} performs an unordered "
+                    f"racy write to {access.rendered}; unsound under any "
+                    f"parallel traversal, fused or not"
+                )
+    for verdict in summary.monotonicity:
+        if udf is not None and verdict.udf_name != udf.udf_name:
+            continue
+        if not verdict.admissible and not verdict.racy_site:
+            reasons.append(
+                f"{name}: {verdict.site} in UDF {verdict.udf_name!r} is "
+                f"{verdict.verdict.value} for its queue's processing order "
+                f"({verdict.reason})"
+            )
+    return reasons
+
+
+def fusion_matrix(
+    summaries: dict[str, ProgramEffectSummary],
+) -> list[FusionVerdict]:
+    """All unordered pairs of ``summaries``, in sorted name order."""
+    names = sorted(summaries)
+    verdicts: list[FusionVerdict] = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            verdicts.append(
+                check_fusion_safety(a, summaries[a], b, summaries[b])
+            )
+    return verdicts

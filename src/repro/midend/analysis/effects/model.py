@@ -1,0 +1,331 @@
+"""Data model of the whole-program effect analysis.
+
+The framework describes what a UDF *does* to shared state — which property
+vectors, shared scalars, and priority queues it reads and writes, through
+which index expressions, and under which guards — as a flat, ordered list of
+:class:`Access` records plus per-variable def-use chains.  Downstream
+consumers project the records onto their own questions:
+
+- :mod:`~repro.midend.analysis.races` classifies each write access into a
+  :class:`~repro.midend.analysis.races.RaceClass`,
+- :mod:`~repro.midend.analysis.dependence` derives the destination/source
+  write lists that drive atomics insertion,
+- :mod:`~repro.midend.analysis.effects.monotonicity` proves each priority
+  update monotone-decreasing / monotone-increasing / non-monotone,
+- :mod:`~repro.midend.analysis.effects.fusion` decides pairwise
+  fusion-safety from two programs' summaries, and
+- the runtime schedule sanitizer replays the summary against the accesses a
+  real execution actually performs.
+
+The record order is load-bearing: accesses appear in the exact statement
+order the classification walk visits them (pre-order, ``then`` before
+``else``), which both the race analysis and the dependence analysis
+historically relied on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ....lang import ast_nodes as ast
+from ....lang.span import Span
+from ..udf_analysis import PriorityUpdate
+
+__all__ = [
+    "AccessKind",
+    "TargetKind",
+    "IndexProvenance",
+    "Access",
+    "DefUseChains",
+    "UDFEffectSummary",
+    "QueueInfo",
+    "ProgramEffectSummary",
+]
+
+
+class AccessKind(enum.Enum):
+    """What an access does to its target."""
+
+    READ = "read"
+    WRITE = "write"
+    PRIORITY_UPDATE = "priority_update"
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessKind.READ
+
+
+class TargetKind(enum.Enum):
+    """What kind of shared state an access touches."""
+
+    VECTOR = "vector"  # a per-vertex property vector
+    SCALAR = "scalar"  # a shared scalar global
+    QUEUE = "queue"  # the priority queue (via updatePriority*)
+
+
+class IndexProvenance(enum.Enum):
+    """Where a vector access's index expression comes from.
+
+    Direction-awareness lives one level up: under push traversal ``SRC`` is
+    the loop-owned index and ``DST`` is foreign; under pull traversal the
+    roles swap.  ``LOCAL`` is a UDF-local variable (which may alias any
+    vertex id and is therefore conservatively foreign), ``CONSTANT`` a
+    literal, ``UNKNOWN`` anything else.
+    """
+
+    SRC = "src"
+    DST = "dst"
+    LOCAL = "local"
+    CONSTANT = "constant"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class Access:
+    """One access to (potentially) shared state inside a UDF."""
+
+    node: ast.Node
+    kind: AccessKind
+    target_kind: TargetKind
+    base: str  # vector/scalar name, or the queue name for updates
+    rendered: str  # e.g. "dist[dst]", "done", "priority(pq)"
+    span: Span
+    index_name: str | None = None
+    provenance: IndexProvenance = IndexProvenance.UNKNOWN
+    #: whether the index is the loop-owned parameter under the analysis
+    #: direction (thread-owned, hence race-free)
+    owned: bool = False
+    #: must-write (executes unconditionally) vs may-write (guarded or
+    #: inside a loop)
+    must: bool = True
+    #: guard expressions the access sits under, outermost first
+    guards: tuple[ast.Expr, ...] = ()
+    #: write guarded by a comparison against its own target (the
+    #: A*/Bellman-Ford benign test-and-set idiom)
+    guarded_monotonic: bool = False
+    #: scalar write of a compile-time literal (idempotent)
+    constant_store: bool = False
+    #: True for writes to UDF-local variables (never shared)
+    is_local: bool = False
+    #: the priority-update descriptor, for PRIORITY_UPDATE accesses
+    update: PriorityUpdate | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "target": self.target_kind.value,
+            "base": self.base,
+            "rendered": self.rendered,
+            "index": self.index_name,
+            "provenance": self.provenance.value,
+            "owned": self.owned,
+            "must": self.must,
+            "guarded_monotonic": self.guarded_monotonic,
+            "line": self.span.line,
+        }
+
+
+@dataclass
+class DefUseChains:
+    """Per-variable definition and use sites (by source line) in one UDF."""
+
+    defs: dict[str, list[int]] = field(default_factory=dict)
+    uses: dict[str, list[int]] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            name: {"defs": self.defs.get(name, []), "uses": self.uses.get(name, [])}
+            for name in sorted(set(self.defs) | set(self.uses))
+        }
+
+
+@dataclass
+class UDFEffectSummary:
+    """The full effect summary of one UDF under one traversal direction."""
+
+    udf_name: str
+    direction: str
+    parameters: list[str]
+    src_param: str
+    dst_param: str
+    owned_param: str
+    foreign_param: str
+    local_names: set[str]
+    #: write-side accesses in classification-walk order (statement order)
+    accesses: list[Access] = field(default_factory=list)
+    #: read-side accesses in pre-order walk order
+    reads: list[Access] = field(default_factory=list)
+    def_use: DefUseChains = field(default_factory=DefUseChains)
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    @property
+    def write_accesses(self) -> list[Access]:
+        """Shared-state writes (locals excluded), in walk order."""
+        return [
+            a for a in self.accesses if a.kind.writes and not a.is_local
+        ]
+
+    @property
+    def priority_updates(self) -> list[Access]:
+        return [
+            a for a in self.accesses if a.kind is AccessKind.PRIORITY_UPDATE
+        ]
+
+    def vector_writes(self, index_name: str) -> list[str]:
+        """Vector names written at exactly ``index_name`` (walk order,
+        duplicates preserved) — the dependence analysis's projection."""
+        return [
+            a.base
+            for a in self.accesses
+            if a.kind is AccessKind.WRITE
+            and a.target_kind is TargetKind.VECTOR
+            and a.index_name == index_name
+        ]
+
+    def read_set(self) -> set[str]:
+        """Vector names read anywhere in the UDF."""
+        return {
+            a.base
+            for a in self.reads
+            if a.target_kind is TargetKind.VECTOR
+        }
+
+    def write_set(self) -> set[str]:
+        """Vector names written anywhere (priority targets excluded)."""
+        return {
+            a.base
+            for a in self.write_accesses
+            if a.target_kind is TargetKind.VECTOR
+        }
+
+    def scalar_write_set(self) -> set[str]:
+        return {
+            a.base
+            for a in self.write_accesses
+            if a.target_kind is TargetKind.SCALAR
+        }
+
+    def to_json(self) -> dict:
+        return {
+            "udf": self.udf_name,
+            "direction": self.direction,
+            "parameters": list(self.parameters),
+            "owned_param": self.owned_param,
+            "reads": sorted(self.read_set()),
+            "writes": sorted(self.write_set()),
+            "scalar_writes": sorted(self.scalar_write_set()),
+            "accesses": [a.to_json() for a in self.write_accesses],
+            "def_use": self.def_use.to_json(),
+        }
+
+
+@dataclass
+class QueueInfo:
+    """Construction-time metadata of one priority queue."""
+
+    name: str
+    #: "lower_first" or "higher_first" (the processing order)
+    order: str | None = None
+    #: the property vector the queue tracks priorities in
+    priority_vector: str | None = None
+    allow_coarsening: bool | None = None
+    span: Span = field(default_factory=Span)
+
+    def to_json(self) -> dict:
+        return {
+            "queue": self.name,
+            "order": self.order,
+            "priority_vector": self.priority_vector,
+            "allow_coarsening": self.allow_coarsening,
+        }
+
+
+@dataclass
+class ProgramEffectSummary:
+    """Effect summaries for every apply-site UDF of one program, plus the
+    program-level structure fusion-safety and the sanitizer need."""
+
+    queues: dict[str, QueueInfo] = field(default_factory=dict)
+    udfs: dict[str, UDFEffectSummary] = field(default_factory=dict)
+    #: monotonicity verdicts, one per priority update (and per unguarded
+    #: direct priority-vector write); see effects.monotonicity
+    monotonicity: list = field(default_factory=list)
+    #: name of the recognized ordered loop's UDF, if any
+    loop_udf: str | None = None
+    #: the ordered loop's queue, if recognized
+    loop_queue: str | None = None
+    has_ordered_loop: bool = False
+    uses_extern_processing: bool = False
+    direction: str = "SparsePush"
+
+    def queue_vector(self, queue_name: str) -> str | None:
+        info = self.queues.get(queue_name)
+        return info.priority_vector if info is not None else None
+
+    # ------------------------------------------------------------------
+    # Runtime projection (embedded in generated modules for the sanitizer)
+    # ------------------------------------------------------------------
+    def runtime_summary(self) -> dict:
+        """Per-UDF read/write/racy sets with priority-queue effects folded
+        onto the queue's concrete priority vector — the contract the
+        schedule sanitizer checks dynamic accesses against."""
+        out: dict[str, dict] = {}
+        for name, udf in self.udfs.items():
+            reads = set(udf.read_set())
+            writes = set(udf.write_set())
+            racy: set[str] = set()
+            write_index: dict[str, set[str]] = {}
+            for access in udf.write_accesses:
+                if access.target_kind is TargetKind.VECTOR:
+                    write_index.setdefault(access.base, set()).add(
+                        access.provenance.value
+                    )
+                    if not access.owned and not access.guarded_monotonic:
+                        racy.add(access.base)
+                elif access.target_kind is TargetKind.QUEUE:
+                    vector = self.queue_vector(access.base)
+                    folded = (
+                        vector
+                        if vector is not None
+                        else f"priority({access.base})"
+                    )
+                    # The update both reads the old priority and writes the
+                    # new one.
+                    reads.add(folded)
+                    writes.add(folded)
+                    if access.update is not None and isinstance(
+                        access.update.vertex_arg, ast.Name
+                    ):
+                        write_index.setdefault(folded, set()).add(
+                            access.provenance.value
+                        )
+            out[name] = {
+                "reads": sorted(reads),
+                "writes": sorted(writes),
+                "racy": sorted(racy),
+                "write_index": {
+                    k: sorted(v) for k, v in sorted(write_index.items())
+                },
+            }
+        return out
+
+    def to_json(self) -> dict:
+        return {
+            "direction": self.direction,
+            "queues": {
+                name: info.to_json() for name, info in sorted(self.queues.items())
+            },
+            "ordered_loop": {
+                "recognized": self.has_ordered_loop,
+                "udf": self.loop_udf,
+                "queue": self.loop_queue,
+                "extern_processing": self.uses_extern_processing,
+            },
+            "udfs": {
+                name: udf.to_json() for name, udf in sorted(self.udfs.items())
+            },
+            "monotonicity": [m.to_json() for m in self.monotonicity],
+        }

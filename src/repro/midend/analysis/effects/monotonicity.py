@@ -1,0 +1,208 @@
+"""Monotonicity proofs for priority updates (relaxed-schedule admissibility).
+
+The paper's ordered runtime may process a bucket *out of order* under
+``eager_with_fusion``: when the freshly relaxed vertices land back in the
+current bucket, the fused loop drains them locally without re-consulting the
+global bucket structure.  That is only sound when every priority update moves
+priorities strictly toward the processing front — monotone-decreasing for a
+``lower_first`` queue, monotone-increasing for ``higher_first`` — because
+then a vertex processed "early" can never have its priority improved past
+work that already ran.
+
+This module proves that property per update site:
+
+``updatePriorityMin``
+    monotone-decreasing by construction (the min of old and new).
+``updatePriorityMax``
+    monotone-increasing by construction.
+``updatePrioritySum``
+    direction of the constant difference: a negative constant decreases,
+    a positive constant increases, a non-constant difference is
+    **non-monotone** (the sign may flip between invocations).
+direct stores to a queue's priority vector
+    monotone only when guarded by a comparison against the stored target
+    (the test-and-set idiom); the guard's operator gives the direction.
+    An unguarded store is non-monotone.
+
+A verdict is *admissible* for its queue when the proven direction matches
+the queue's processing order.  Inadmissible verdicts gate the fused
+schedules: the midend raises ``M001`` rather than running an unsound
+out-of-order drain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ....lang.span import Span
+from ..udf_analysis import _constant_value
+from .model import AccessKind, QueueInfo, TargetKind, UDFEffectSummary
+
+__all__ = ["Monotonicity", "MonotonicityVerdict", "classify_udf_monotonicity"]
+
+
+class Monotonicity(enum.Enum):
+    DECREASING = "monotone-decreasing"
+    INCREASING = "monotone-increasing"
+    NON_MONOTONE = "non-monotone"
+
+
+#: queue processing order -> the update direction it admits
+_ADMITS = {"lower_first": Monotonicity.DECREASING,
+           "higher_first": Monotonicity.INCREASING}
+
+
+@dataclass
+class MonotonicityVerdict:
+    """The proof result for one priority-update (or direct-write) site."""
+
+    udf_name: str
+    queue_name: str | None  # None when the owning queue is unknown
+    site: str  # rendered site, e.g. "updatePriorityMin(dst, ...)"
+    verdict: Monotonicity
+    #: whether the proven direction matches the queue's processing order
+    admissible: bool
+    reason: str
+    span: Span = field(default_factory=Span)
+    #: True when the same site is already an unordered-racy write: the race
+    #: analysis reports it as R001, so M001 does not double-report it
+    racy_site: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "udf": self.udf_name,
+            "queue": self.queue_name,
+            "site": self.site,
+            "verdict": self.verdict.value,
+            "admissible": self.admissible,
+            "reason": self.reason,
+            "line": self.span.line,
+        }
+
+
+def classify_udf_monotonicity(
+    summary: UDFEffectSummary,
+    queues: dict[str, QueueInfo],
+) -> list[MonotonicityVerdict]:
+    """One verdict per priority update and per direct priority-vector store."""
+    verdicts: list[MonotonicityVerdict] = []
+    vector_owner = {
+        info.priority_vector: info
+        for info in queues.values()
+        if info.priority_vector is not None
+    }
+    for access in summary.accesses:
+        if access.kind is AccessKind.PRIORITY_UPDATE and access.update is not None:
+            queue = queues.get(access.base)
+            verdicts.append(
+                _classify_update(summary.udf_name, access, queue)
+            )
+        elif (
+            access.kind is AccessKind.WRITE
+            and access.target_kind is TargetKind.VECTOR
+            and access.base in vector_owner
+        ):
+            verdicts.append(
+                _classify_direct_write(
+                    summary.udf_name, access, vector_owner[access.base]
+                )
+            )
+    return verdicts
+
+
+def _admissible(verdict: Monotonicity, queue: QueueInfo | None) -> bool:
+    if queue is None or queue.order not in _ADMITS:
+        return verdict is not Monotonicity.NON_MONOTONE
+    return verdict is _ADMITS[queue.order]
+
+
+def _classify_update(udf_name, access, queue) -> MonotonicityVerdict:
+    update = access.update
+    if update.op == "min":
+        verdict = Monotonicity.DECREASING
+        reason = "updatePriorityMin stores min(old, new): never increases"
+    elif update.op == "max":
+        verdict = Monotonicity.INCREASING
+        reason = "updatePriorityMax stores max(old, new): never decreases"
+    else:  # sum
+        constant = _constant_value(update.value_arg)
+        if constant is None:
+            verdict = Monotonicity.NON_MONOTONE
+            reason = (
+                "updatePrioritySum with a non-constant difference: the "
+                "sign may differ between invocations"
+            )
+        elif constant < 0:
+            verdict = Monotonicity.DECREASING
+            reason = f"updatePrioritySum adds the constant {constant} (< 0)"
+        elif constant > 0:
+            verdict = Monotonicity.INCREASING
+            reason = f"updatePrioritySum adds the constant {constant} (> 0)"
+        else:
+            verdict = Monotonicity.NON_MONOTONE
+            reason = "updatePrioritySum adds the constant 0: a no-op update"
+    return MonotonicityVerdict(
+        udf_name=udf_name,
+        queue_name=update.queue_name,
+        site=access.rendered,
+        verdict=verdict,
+        admissible=_admissible(verdict, queue),
+        reason=reason,
+        span=access.span,
+    )
+
+
+def _classify_direct_write(udf_name, access, queue) -> MonotonicityVerdict:
+    if not access.guarded_monotonic:
+        verdict = Monotonicity.NON_MONOTONE
+        reason = (
+            f"unguarded store to the priority vector {access.base!r}: the "
+            f"stored value is unconstrained relative to the old priority"
+        )
+    else:
+        verdict, reason = _guard_direction(access)
+    return MonotonicityVerdict(
+        udf_name=udf_name,
+        queue_name=queue.name,
+        site=access.rendered,
+        verdict=verdict,
+        admissible=_admissible(verdict, queue),
+        reason=reason,
+        span=access.span,
+        racy_site=not access.owned and not access.guarded_monotonic,
+    )
+
+
+def _guard_direction(access) -> tuple[Monotonicity, str]:
+    """Direction of a guarded store from its comparison's operator and the
+    side the target read sits on (``new < pv[v]`` stores a smaller value)."""
+    from .analysis import _monotonic_guard, _same_indexed_read
+
+    target = access.node.target
+    guard = _monotonic_guard(
+        list(access.guards), access.base, target.index
+    )
+    if guard is None:  # pragma: no cover - guarded_monotonic implies a guard
+        return Monotonicity.NON_MONOTONE, "guard comparison not recoverable"
+    target_on_right = _same_indexed_read(guard.right, access.base, target.index)
+    operator = guard.operator
+    if operator in ("==", "!="):
+        return (
+            Monotonicity.NON_MONOTONE,
+            f"guard {operator!r} constrains equality, not direction",
+        )
+    # Normalize so the old-value read is on the right: `new OP pv[v]`.
+    if not target_on_right:
+        operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[operator]
+    if operator in ("<", "<="):
+        return (
+            Monotonicity.DECREASING,
+            "store guarded by a comparison proving the new value is below "
+            "the old priority",
+        )
+    return (
+        Monotonicity.INCREASING,
+        "store guarded by a comparison proving the new value is above "
+        "the old priority",
+    )

@@ -31,6 +31,11 @@ The classification is consumed by both backends: the C++ generator emits
 ``NEEDS_DEDUP`` (no unconditional atomics), and the Python backend embeds
 the classification in the generated module and asserts it at runtime
 against the schedule it executes under.
+
+Since the effect-analysis framework landed, this module no longer walks the
+IR itself: it is a thin projection of the
+:class:`~repro.midend.analysis.effects.UDFEffectSummary` access records
+(which preserve the historical statement-order walk) onto race classes.
 """
 
 from __future__ import annotations
@@ -41,7 +46,8 @@ from dataclasses import dataclass, field
 from ...lang import ast_nodes as ast
 from ...lang.span import Span
 from ..schedule import Schedule
-from .udf_analysis import PriorityUpdate, find_priority_updates
+from .effects.model import Access, AccessKind, TargetKind, UDFEffectSummary
+from .udf_analysis import PriorityUpdate
 
 __all__ = ["RaceClass", "WriteSite", "RaceReport", "analyze_races"]
 
@@ -141,109 +147,68 @@ def analyze_races(
     destinations, so ``dst``-indexed writes are thread-owned and
     ``src``-indexed writes are cross-thread.
     """
-    parameters = [name for name, _ in udf.parameters]
-    src_param = parameters[0] if parameters else "src"
-    dst_param = parameters[1] if len(parameters) > 1 else "dst"
-    if schedule.direction == "DensePull":
-        owned_param, foreign_param = dst_param, src_param
-    else:
-        owned_param, foreign_param = src_param, dst_param
+    from .effects.analysis import summarize_udf
 
-    local_names = set(parameters)
-    for node in ast.walk(udf):
-        if isinstance(node, ast.VarDecl):
-            local_names.add(node.name)
+    effect_summary = summarize_udf(
+        udf, queue_names, schedule.direction, source_file
+    )
+    return classify_from_effects(effect_summary, schedule)
 
+
+def classify_from_effects(
+    summary: UDFEffectSummary, schedule: Schedule
+) -> RaceReport:
+    """Project an effect summary onto the race classification."""
     report = RaceReport(
-        udf_name=udf.name,
+        udf_name=summary.udf_name,
         direction=schedule.direction,
         parallelization=schedule.parallelization,
     )
-    updates = {id(u.call): u for u in find_priority_updates(udf, queue_names)}
-
-    _classify_body(
-        udf.body,
-        report,
-        updates,
-        guards=[],
-        owned_param=owned_param,
-        foreign_param=foreign_param,
-        local_names=local_names,
-        source_file=source_file,
-    )
+    for access in summary.accesses:
+        if access.is_local:
+            continue  # thread-local: parameters and var declarations
+        if access.kind is AccessKind.PRIORITY_UPDATE:
+            report.sites.append(_classify_update(access))
+        elif access.target_kind is TargetKind.SCALAR:
+            report.sites.append(_classify_scalar(access))
+        elif access.target_kind is TargetKind.VECTOR:
+            report.sites.append(_classify_vector(access))
     return report
 
 
-# ----------------------------------------------------------------------
-# Classification walk
-# ----------------------------------------------------------------------
-def _classify_body(
-    body: list[ast.Stmt],
-    report: RaceReport,
-    updates: dict[int, PriorityUpdate],
-    guards: list[ast.Expr],
-    **env,
-) -> None:
-    for statement in body:
-        if isinstance(statement, ast.If):
-            inner = guards + [statement.condition]
-            _classify_body(statement.then_body, report, updates, inner, **env)
-            _classify_body(statement.else_body, report, updates, guards, **env)
-        elif isinstance(statement, (ast.While, ast.For)):
-            _classify_body(statement.body, report, updates, guards, **env)
-        elif isinstance(statement, ast.ExprStmt):
-            update = updates.get(id(statement.expression))
-            if update is not None:
-                report.sites.append(_classify_update(update, **env))
-        elif isinstance(statement, ast.Assign):
-            site = _classify_assign(statement, guards, **env)
-            if site is not None:
-                report.sites.append(site)
-
-
-def _classify_update(
-    update: PriorityUpdate,
-    *,
-    owned_param: str,
-    foreign_param: str,
-    local_names: set[str],
-    source_file: str | None,
-) -> WriteSite:
+def _classify_update(access: Access) -> WriteSite:
     """A priority-update operator: CAS/fetch-add class per target index."""
-    span = Span.from_node(update.call, file=source_file)
-    target = f"priority({update.queue_name})"
-    vertex = update.vertex_arg
-    vertex_name = vertex.identifier if isinstance(vertex, ast.Name) else None
-
-    if vertex_name == owned_param:
+    update = access.update
+    vertex_name = access.index_name
+    if access.owned:
         return WriteSite(
-            node=update.call,
-            target=target,
+            node=access.node,
+            target=access.rendered,
             race_class=RaceClass.BENIGN,
             reason=(
                 f"update indexed by {vertex_name!r} is thread-owned under "
                 f"this traversal direction; plain write suffices"
             ),
-            span=span,
+            span=access.span,
             update=update,
         )
     if update.op == "sum":
         return WriteSite(
-            node=update.call,
-            target=target,
+            node=access.node,
+            target=access.rendered,
             race_class=RaceClass.NEEDS_DEDUP,
             reason=(
                 f"sum update indexed by {vertex_name or 'a non-parameter'}"
                 f" crosses threads: clamped fetch_add plus bucket "
                 f"deduplication required (Section 5.1)"
             ),
-            span=span,
+            span=access.span,
             update=update,
         )
     seed = update.old_arg
     return WriteSite(
-        node=update.call,
-        target=target,
+        node=access.node,
+        target=access.rendered,
         race_class=RaceClass.NEEDS_CAS,
         reason=(
             f"{update.op} update indexed by "
@@ -255,138 +220,69 @@ def _classify_update(
                 else ""
             )
         ),
-        span=span,
+        span=access.span,
         update=update,
         cas_seed=seed,
     )
 
 
-def _classify_assign(
-    assign: ast.Assign,
-    guards: list[ast.Expr],
-    *,
-    owned_param: str,
-    foreign_param: str,
-    local_names: set[str],
-    source_file: str | None,
-) -> WriteSite | None:
-    """A plain assignment: shared-state writes get classified, locals skip."""
-    target = assign.target
-    span = Span.from_node(assign, file=source_file)
-
-    if isinstance(target, ast.Name):
-        name = target.identifier
-        if name in local_names:
-            return None  # thread-local: parameters and var declarations
-        rendered = name
-        if isinstance(assign.value, (ast.IntLiteral, ast.BoolLiteral)):
-            return WriteSite(
-                node=assign,
-                target=rendered,
-                race_class=RaceClass.BENIGN,
-                reason=(
-                    "constant store to shared scalar is idempotent "
-                    "(every thread writes the same value)"
-                ),
-                span=span,
-            )
+def _classify_scalar(access: Access) -> WriteSite:
+    if access.constant_store:
         return WriteSite(
-            node=assign,
-            target=rendered,
-            race_class=RaceClass.UNORDERED_RACY,
-            reason=(
-                "non-constant write to shared scalar from a parallel UDF; "
-                "the last writer wins nondeterministically"
-            ),
-            span=span,
-        )
-
-    if not isinstance(target, ast.Index):
-        return None
-    base = target.base
-    index = target.index
-    base_name = base.identifier if isinstance(base, ast.Name) else "<expr>"
-    index_name = index.identifier if isinstance(index, ast.Name) else None
-    rendered = f"{base_name}[{index_name or '<expr>'}]"
-
-    if index_name is not None and index_name == owned_param:
-        return WriteSite(
-            node=assign,
-            target=rendered,
+            node=access.node,
+            target=access.rendered,
             race_class=RaceClass.BENIGN,
             reason=(
-                f"indexed by the thread-owned parameter {index_name!r} "
+                "constant store to shared scalar is idempotent "
+                "(every thread writes the same value)"
+            ),
+            span=access.span,
+        )
+    return WriteSite(
+        node=access.node,
+        target=access.rendered,
+        race_class=RaceClass.UNORDERED_RACY,
+        reason=(
+            "non-constant write to shared scalar from a parallel UDF; "
+            "the last writer wins nondeterministically"
+        ),
+        span=access.span,
+    )
+
+
+def _classify_vector(access: Access) -> WriteSite:
+    if access.owned:
+        return WriteSite(
+            node=access.node,
+            target=access.rendered,
+            race_class=RaceClass.BENIGN,
+            reason=(
+                f"indexed by the thread-owned parameter {access.index_name!r} "
                 f"under this traversal direction"
             ),
-            span=span,
+            span=access.span,
         )
     # Any other index — the foreign parameter, or a local holding an
     # arbitrary vertex id (which can alias it) — crosses threads.
-    if _is_guarded_monotonic(assign, guards, base_name, index):
+    if access.guarded_monotonic:
         return WriteSite(
-            node=assign,
-            target=rendered,
+            node=access.node,
+            target=access.rendered,
             race_class=RaceClass.BENIGN,
             reason=(
                 "benign race: guarded monotonic test-and-set "
                 "(a lost update is re-established by the following "
                 "priority update / later relaxation)"
             ),
-            span=span,
+            span=access.span,
         )
     return WriteSite(
-        node=assign,
-        target=rendered,
+        node=access.node,
+        target=access.rendered,
         race_class=RaceClass.UNORDERED_RACY,
         reason=(
-            f"unguarded write to shared vertex property {rendered!r} "
+            f"unguarded write to shared vertex property {access.rendered!r} "
             f"indexed across threads; needs an atomic or a guard"
         ),
-        span=span,
+        span=access.span,
     )
-
-
-def _is_guarded_monotonic(
-    assign: ast.Assign,
-    guards: list[ast.Expr],
-    base_name: str,
-    index: ast.Expr,
-) -> bool:
-    """Whether the write sits under a comparison against its own target.
-
-    This recognizes the A*/Bellman-Ford idiom::
-
-        if new_dist < dist[dst]
-            dist[dst] = new_dist;
-
-    The store may lose a concurrent smaller value, but the race is benign:
-    monotone relaxation re-delivers it (and in the paper's programs a
-    priority update follows that re-enqueues the vertex).
-    """
-    for guard in guards:
-        for node in ast.walk(guard):
-            if not isinstance(node, ast.BinaryOp):
-                continue
-            if node.operator not in ("<", ">", "<=", ">=", "!=", "=="):
-                continue
-            for side in (node.left, node.right):
-                if _same_indexed_read(side, base_name, index):
-                    return True
-    return False
-
-
-def _same_indexed_read(expr: ast.Expr, base_name: str, index: ast.Expr) -> bool:
-    return (
-        isinstance(expr, ast.Index)
-        and isinstance(expr.base, ast.Name)
-        and expr.base.identifier == base_name
-        and _same_simple_expr(expr.index, index)
-    )
-
-
-def _same_simple_expr(left: ast.Expr, right: ast.Expr) -> bool:
-    if isinstance(left, ast.Name) and isinstance(right, ast.Name):
-        return left.identifier == right.identifier
-    if isinstance(left, ast.IntLiteral) and isinstance(right, ast.IntLiteral):
-        return left.value == right.value
-    return False

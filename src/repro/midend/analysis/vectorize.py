@@ -56,7 +56,7 @@ from ...lang import ast_nodes as ast
 from ...lang.span import Span
 from ...lang.types import VectorType
 from ..schedule import Schedule
-from .races import RaceClass, analyze_races
+from .races import analyze_races
 from .udf_analysis import (
     PriorityUpdate,
     analyze_constant_sum,

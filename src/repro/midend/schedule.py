@@ -22,7 +22,7 @@ performs a single constant-difference ``updatePrioritySum``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..errors import SchedulingError
 from ..runtime.parallel import EXECUTION_MODES
@@ -80,6 +80,12 @@ class Schedule:
         runs them on real worker threads via the
         :class:`~repro.runtime.parallel.ParallelExecutionEngine`
         (``configExecution``).
+    sanitize:
+        Enable the schedule sanitizer: the runtime records every property
+        vector actually read/written during each apply dispatch and fails
+        loudly on any access outside the static effect summary embedded in
+        the generated program (``repro run --sanitize``).  Off by default —
+        instrumented vectors cost a bounds check per element access.
     """
 
     priority_update: str = "eager_no_fusion"
@@ -91,6 +97,7 @@ class Schedule:
     num_threads: int = 8
     chunk_size: int = 64
     execution: str = "serial"
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         self.validate()

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ...errors import CompileError, SchedulingError
+from ...errors import CompileError, MonotonicityError, SchedulingError
 from ...lang import ast_nodes as ast
 from ...obs import span as trace_span
 from ...lang.symbols import SymbolTable
@@ -27,6 +27,7 @@ from ...lang.typecheck import typecheck
 from ...lang.types import PriorityQueueType
 from ..analysis.dependence import DependenceInfo, analyze_dependences
 from ..analysis.diagnostics import validate_ir_or_raise
+from ..analysis.effects import ProgramEffectSummary, analyze_program_effects
 from ..analysis.loop_patterns import OrderedLoopInfo, recognize_ordered_loop
 from ..analysis.races import RaceReport, analyze_races
 from ..analysis.udf_analysis import (
@@ -73,6 +74,10 @@ class CompilationPlan:
     # apply-UDF names to their :class:`VectorizeReport`; non-vectorizable
     # UDFs carry a located fallback reason surfaced as diagnostic ``V101``.
     vectorize: dict[str, VectorizeReport] = field(default_factory=dict)
+    # Whole-program effect summary: per-UDF read/write/index sets, queue
+    # metadata, and monotonicity verdicts.  The Python backend embeds its
+    # runtime projection for the schedule sanitizer.
+    effects: ProgramEffectSummary | None = None
 
     @property
     def label(self) -> str | None:
@@ -145,6 +150,18 @@ def plan_program(
     transformed: ast.FuncDecl | None = None
     races: RaceReport | None = None
 
+    # The whole-program effect summary is computed for every program (also
+    # loop-free ones such as Bellman-Ford: plain apply UDFs are summarized
+    # too, so the schedule sanitizer covers them).
+    with trace_span("midend.effects", "compiler"):
+        effects = analyze_program_effects(
+            program,
+            resolved,
+            queue_names=queue_names,
+            loop=loop,
+            source_file=program.source_file,
+        )
+
     if loop is not None and loop.udf_name is not None:
         udf = program.function(loop.udf_name)
         if udf is None:
@@ -169,6 +186,25 @@ def plan_program(
             )
         with trace_span("midend.constant_sum", "compiler", udf=udf.name):
             constant_sum = analyze_constant_sum(udf, queue_names)
+        # Relaxed-schedule admissibility (M001): bucket fusion drains
+        # same-bucket insertions out of the global order, which is only
+        # sound for monotone priority updates.  Unordered-racy sites are
+        # excluded — those are already fatal as R001.
+        if resolved.uses_fusion and effects is not None:
+            for verdict in effects.monotonicity:
+                if (
+                    verdict.udf_name == udf.name
+                    and not verdict.admissible
+                    and not verdict.racy_site
+                ):
+                    raise MonotonicityError(
+                        f"schedule requests eager_with_fusion but "
+                        f"{verdict.site} in UDF {udf.name!r} is "
+                        f"{verdict.verdict.value} for its queue's "
+                        f"processing order ({verdict.reason}); "
+                        f"out-of-order bucket fusion would be unsound",
+                        span=verdict.span,
+                    )
         if resolved.uses_histogram:
             if constant_sum is None:
                 raise CompileError(
@@ -224,6 +260,7 @@ def plan_program(
         transformed_udf=transformed,
         races=races,
         vectorize=vectorize,
+        effects=effects,
     )
 
 

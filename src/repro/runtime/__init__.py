@@ -1,4 +1,5 @@
-"""Parallel-runtime substrate: stats, atomics, virtual threads, frontiers."""
+"""Parallel-runtime substrate: stats, atomics, virtual threads, frontiers,
+and the schedule sanitizer."""
 
 from .atomics import AtomicOps
 from .frontier import (
@@ -11,6 +12,7 @@ from .frontier import (
 )
 from .histogram import apply_constant_sum, histogram_counts
 from .parallel import EXECUTION_MODES, ParallelExecutionEngine, shutdown_executors
+from .sanitizer import SanitizedVector, Sanitizer, SanitizerError
 from .stats import DEFAULT_COST_MODEL, CostModel, RuntimeStats
 from .threads import PARALLELIZATION_POLICIES, VirtualThreadPool
 
@@ -32,4 +34,7 @@ __all__ = [
     "gather_in_edges",
     "histogram_counts",
     "apply_constant_sum",
+    "Sanitizer",
+    "SanitizedVector",
+    "SanitizerError",
 ]

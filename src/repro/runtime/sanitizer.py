@@ -1,0 +1,261 @@
+"""The schedule sanitizer: dynamic validation of static effect summaries.
+
+The midend's whole-program effect analysis
+(:mod:`repro.midend.analysis.effects`) claims, for every apply-site UDF,
+which property vectors it reads and writes and through which index
+expressions.  Every downstream soundness argument — race classification,
+atomics insertion, monotonicity-gated bucket fusion — leans on those
+summaries being *complete*.  The sanitizer closes the loop at run time:
+
+- property vectors allocated under ``Schedule(sanitize=True)`` are
+  :class:`SanitizedVector` instances that report every element read and
+  write to the active :class:`Sanitizer`,
+- the runtime operators bracket each apply dispatch in a sanitizer *scope*
+  naming the UDF being applied (and, for push traversal, the frontier the
+  dispatch is allowed to touch), and
+- at scope exit the recorded accesses are checked against the static
+  summary the generated module embedded via
+  ``ctx.declare_effect_summary(...)``.
+
+Violations raise :class:`SanitizerError` immediately — the sanitizer's
+whole point is to fail loudly the moment an execution escapes its static
+contract, rather than to produce a wrong answer quietly.
+
+Four rules are enforced per scope:
+
+1. every vector read belongs to the summary's read-or-write set,
+2. every vector written belongs to the summary's write set,
+3. under push traversal, written indices stay within the frontier and its
+   out-neighborhood when the summary proves all write indices are
+   src/dst-derived (the containment argument behind per-round ordering),
+4. a write to a vector the summary classified *unordered racy* raises at
+   the write itself — mirroring the interpreter's refusal to run ``R001``
+   programs, but catching the case where the static report was bypassed.
+
+Recording costs a Python-level check per element access, so the
+instrumentation is opt-in (``repro run --sanitize``) and entirely absent
+from uninstrumented runs: without the flag the runtime allocates plain
+``np.ndarray`` vectors and the operators' scopes are no-ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphItError
+
+__all__ = ["SanitizerError", "SanitizedVector", "Sanitizer"]
+
+
+class SanitizerError(GraphItError):
+    """A dynamic access escaped the static effect summary."""
+
+
+class SanitizedVector(np.ndarray):
+    """An ``np.ndarray`` that reports element accesses to a sanitizer.
+
+    Instances start *inert* (``_sanitizer is None``); the context activates
+    them when the generated module declares its effect summary, binding each
+    vector to its program-level name.  Derived arrays (fancy-indexing
+    copies, ufunc results) drop the instrumentation — only true views of
+    the original buffer keep reporting, so writes through a slice are still
+    seen while scratch copies cost nothing.
+    """
+
+    def __array_finalize__(self, obj):
+        sanitizer = getattr(obj, "_sanitizer", None)
+        if sanitizer is not None and self.base is obj:
+            self._sanitizer = sanitizer
+            self._effect_name = obj._effect_name
+        else:
+            self._sanitizer = None
+            self._effect_name = None
+
+    def __getitem__(self, key):
+        sanitizer = self._sanitizer
+        if sanitizer is not None and sanitizer.active is not None:
+            sanitizer.record_read(self._effect_name, key)
+        return super().__getitem__(key)
+
+    def __setitem__(self, key, value):
+        sanitizer = self._sanitizer
+        if sanitizer is not None and sanitizer.active is not None:
+            sanitizer.record_write(self._effect_name, key)
+        super().__setitem__(key, value)
+
+
+def _key_indices(key) -> np.ndarray | None:
+    """Normalize an indexing key to a flat int64 index array.
+
+    Returns ``None`` for keys whose touched positions cannot be enumerated
+    cheaply (slices, ellipsis, tuples) — the name-level rules still apply,
+    only the index-containment rule is skipped for that access.
+    """
+    if isinstance(key, (int, np.integer)):
+        return np.array([int(key)], dtype=np.int64)
+    if isinstance(key, np.ndarray):
+        if key.dtype == bool:
+            return np.flatnonzero(key).astype(np.int64, copy=False)
+        if np.issubdtype(key.dtype, np.integer):
+            return key.ravel().astype(np.int64, copy=False)
+        return None
+    if isinstance(key, (list, tuple)) and all(
+        isinstance(k, (int, np.integer)) for k in key
+    ):
+        return np.asarray(key, dtype=np.int64).ravel()
+    return None
+
+
+class _Scope:
+    """The accesses recorded during one apply dispatch."""
+
+    __slots__ = (
+        "udf_name",
+        "contract",
+        "frontier",
+        "edges",
+        "read_names",
+        "writes",
+        "unbounded_writes",
+    )
+
+    def __init__(self, udf_name, contract, frontier, edges):
+        self.udf_name = udf_name
+        self.contract = contract
+        self.frontier = frontier
+        self.edges = edges
+        self.read_names: set[str] = set()
+        # vector name -> list of written index arrays, in write order
+        self.writes: dict[str, list[np.ndarray]] = {}
+        # vectors written through a non-enumerable key (slice etc.)
+        self.unbounded_writes: set[str] = set()
+
+
+class Sanitizer:
+    """Checks recorded dynamic accesses against static effect summaries.
+
+    ``summary`` is the generated module's runtime projection
+    (:meth:`~repro.midend.analysis.effects.ProgramEffectSummary.runtime_summary`):
+    per-UDF ``reads`` / ``writes`` / ``racy`` name lists plus the
+    ``write_index`` provenance map driving the containment rule.
+    """
+
+    def __init__(self, summary: dict):
+        self.summary = {name: dict(contract) for name, contract in summary.items()}
+        self.active: _Scope | None = None
+        #: completed scopes, newest last: (udf, reads, writes) name tuples —
+        #: the audit trail tests and ``repro run --sanitize`` report from.
+        self.log: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Scope protocol (driven by the Context's apply operators)
+    # ------------------------------------------------------------------
+    def begin_apply(self, udf_name: str, frontier=None, edges=None) -> None:
+        if self.active is not None:  # pragma: no cover - operator bug guard
+            raise SanitizerError(
+                f"sanitizer scope for UDF {self.active.udf_name!r} is still "
+                f"open while entering {udf_name!r}"
+            )
+        contract = self.summary.get(udf_name)
+        if contract is None:
+            raise SanitizerError(
+                f"no static effect summary for UDF {udf_name!r}; the "
+                f"generated module and its compilation plan disagree"
+            )
+        self.active = _Scope(udf_name, contract, frontier, edges)
+
+    def abort(self) -> None:
+        """Drop the active scope without validating (the dispatch raised)."""
+        self.active = None
+
+    def end_apply(self) -> None:
+        scope = self.active
+        self.active = None
+        if scope is None:  # pragma: no cover - operator bug guard
+            raise SanitizerError("end_apply without an active sanitizer scope")
+        contract = scope.contract
+        readable = set(contract["reads"]) | set(contract["writes"])
+        for name in sorted(scope.read_names):
+            if name not in readable:
+                raise SanitizerError(
+                    f"UDF {scope.udf_name!r} read vector {name!r} at run "
+                    f"time, which its static effect summary does not "
+                    f"mention (reads={sorted(readable)})"
+                )
+        writable = set(contract["writes"])
+        for name in sorted(scope.writes):
+            if name not in writable:
+                raise SanitizerError(
+                    f"UDF {scope.udf_name!r} wrote vector {name!r} at run "
+                    f"time, outside its static write set "
+                    f"({sorted(writable)})"
+                )
+        self._check_containment(scope)
+        self.log.append(
+            {
+                "udf": scope.udf_name,
+                "reads": sorted(scope.read_names),
+                "writes": sorted(scope.writes),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Recording (driven by SanitizedVector element accesses)
+    # ------------------------------------------------------------------
+    def record_read(self, name: str, key) -> None:
+        self.active.read_names.add(name)
+
+    def record_write(self, name: str, key) -> None:
+        scope = self.active
+        if name in scope.contract.get("racy", ()):
+            # Rule 4: the static pass classified this site unordered racy
+            # (R001); executing the write anyway means the compile-time
+            # refusal was bypassed.  Raise at the write, before the wrong
+            # value lands.
+            self.active = None
+            raise SanitizerError(
+                f"UDF {scope.udf_name!r} is writing vector {name!r}, which "
+                f"the static race analysis classified unordered racy "
+                f"(R001); refusing to let the write commit"
+            )
+        indices = _key_indices(key)
+        if indices is None:
+            scope.unbounded_writes.add(name)
+            scope.writes.setdefault(name, [])
+        else:
+            scope.writes.setdefault(name, []).append(indices)
+
+    # ------------------------------------------------------------------
+    # Rule 3: frontier containment of written indices
+    # ------------------------------------------------------------------
+    def _check_containment(self, scope: _Scope) -> None:
+        if scope.frontier is None or scope.edges is None:
+            return
+        from .frontier import gather_out_edges
+
+        frontier = np.asarray(scope.frontier, dtype=np.int64)
+        mask: np.ndarray | None = None
+        for name, chunks in scope.writes.items():
+            provenances = set(
+                scope.contract.get("write_index", {}).get(name, ())
+            )
+            if not provenances or not provenances <= {"src", "dst"}:
+                # The static summary admits local/unknown indices for this
+                # vector — any vertex id is in-contract, nothing to check.
+                continue
+            if name in scope.unbounded_writes or not chunks:
+                continue
+            if mask is None:
+                mask = np.zeros(scope.edges.num_vertices, dtype=bool)
+                mask[frontier] = True
+                _, destinations, _ = gather_out_edges(scope.edges, frontier)
+                mask[destinations] = True
+            written = np.concatenate(chunks)
+            escaped = written[~mask[written]]
+            if escaped.size:
+                raise SanitizerError(
+                    f"UDF {scope.udf_name!r} wrote vector {name!r} at "
+                    f"vertex {int(escaped[0])}, outside the frontier and "
+                    f"its out-neighborhood; the static summary claims all "
+                    f"writes are {sorted(provenances)}-indexed"
+                )

@@ -256,6 +256,107 @@ class TestBenchCheck:
         assert "cannot read baseline" in capsys.readouterr().err
 
 
+class TestLintJson:
+    def test_clean_program_document(self, capsys):
+        import json
+
+        assert main(["lint", "sssp", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is True
+        assert document["diagnostics"] == []
+        assert document["checked"] == 1
+
+    def test_diagnostics_carry_span_fields(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.gt"
+        bad.write_text("func main(")
+        assert main(["lint", str(bad), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["ok"] is False
+        assert document["errors"] >= 1
+        for entry in document["diagnostics"]:
+            assert set(entry) == {"code", "severity", "span", "message"}
+            assert entry["span"]["file"] == str(bad)
+            assert entry["span"]["line"] >= 1
+            assert entry["span"]["column"] >= 1
+
+
+class TestAnalyze:
+    def test_json_document(self, capsys):
+        import json
+
+        assert main(["analyze", "sssp", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        report = document["programs"]["sssp"]
+        assert report["effects"]["ordered_loop"]["udf"] == "updateEdge"
+        verdicts = report["effects"]["monotonicity"]
+        assert verdicts and verdicts[0]["verdict"] == "monotone-decreasing"
+        assert document["fusion"][0]["pair"] == ["sssp", "sssp"]
+
+    def test_text_fusion_matrix(self, capsys):
+        assert main(["analyze", "sssp", "widest"]) == 0
+        out = capsys.readouterr().out
+        assert "monotonicity priority(pq)" in out
+        assert "fusion sssp x widest: blocked" in out
+        assert "processing-order mismatch" in out
+
+    def test_analyze_gt_file(self, tmp_path, capsys):
+        from repro.lang import program_source
+
+        path = tmp_path / "prog.gt"
+        path.write_text(program_source("kcore"))
+        assert main(["analyze", str(path)]) == 0
+        assert "monotone-decreasing" in capsys.readouterr().out
+
+    def test_explicit_schedule_gates_non_monotone(self, tmp_path, capsys):
+        from repro.lang import program_source
+
+        path = tmp_path / "nm.gt"
+        path.write_text(
+            program_source("kcore").replace(
+                "pq.updatePrioritySum(dst, -1, k);",
+                "pq.updatePrioritySum(dst, k - 1, k);",
+            )
+        )
+        code = main(
+            ["analyze", str(path), "--priority-update", "eager_with_fusion"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "non-monotone" in err
+        assert "bucket fusion would be unsound" in err
+
+
+class TestRunSanitize:
+    def test_run_with_sanitizer_reports_scopes(self, graph_file, capsys):
+        path, graph, source = graph_file
+        code = main(
+            [
+                "run",
+                "sssp",
+                path,
+                str(source),
+                "--priority-update",
+                "eager_with_fusion",
+                "--delta",
+                "8",
+                "--sanitize",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rounds=" in out
+        assert "sanitizer:" in out
+        assert "apply scopes validated" in out
+        assert "updateEdge" in out
+
+    def test_run_without_flag_has_no_sanitizer_line(self, graph_file, capsys):
+        path, _, source = graph_file
+        assert main(["run", "sssp", path, str(source)]) == 0
+        assert "sanitizer:" not in capsys.readouterr().out
+
+
 class TestAutotune:
     def test_autotune_sssp(self, graph_file, capsys):
         path, _, source = graph_file

@@ -1,0 +1,83 @@
+"""Golden effect-summary snapshots for every example DSL program.
+
+Each ``examples/*.gt`` file has a checked-in JSON snapshot of its
+``repro analyze`` document under ``tests/goldens/effects/``.  The test
+rebuilds the document from source and requires an exact match, so any
+change to the effect analysis, monotonicity verdicts, fusion relation,
+or runtime projection shows up as a reviewable golden diff.
+
+Regenerate after an intentional analysis change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_effects_golden.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import build_analysis_document
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens" / "effects"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.gt"))
+
+
+def _document_for(example: Path) -> dict:
+    document = build_analysis_document({example.stem: example.read_text()})
+    # Round-trip through JSON so the comparison sees exactly what the
+    # golden file stores (tuples become lists, keys become strings).
+    return json.loads(json.dumps(document))
+
+
+def test_examples_exist() -> None:
+    assert EXAMPLES, f"no .gt examples found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_effect_summary_matches_golden(example: Path) -> None:
+    golden_path = GOLDEN_DIR / f"{example.stem}.json"
+    document = _document_for(example)
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with REPRO_REGEN_GOLDENS=1 "
+        "to create it"
+    )
+    golden = json.loads(golden_path.read_text())
+    assert document == golden, (
+        f"effect summary for {example.name} drifted from its golden; "
+        "if the change is intentional regenerate with REPRO_REGEN_GOLDENS=1"
+    )
+
+
+def test_no_stale_goldens() -> None:
+    """Every golden corresponds to a live example (catches renames)."""
+    stems = {p.stem for p in EXAMPLES}
+    stale = [
+        p.name for p in GOLDEN_DIR.glob("*.json") if p.stem not in stems
+    ]
+    assert not stale, f"goldens without a matching example: {stale}"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_golden_document_shape(example: Path) -> None:
+    """Structural invariants every analysis document must satisfy."""
+    document = _document_for(example)
+    report = document["programs"][example.stem]
+    assert set(report) == {"schedule", "effects", "runtime_summary"}
+    effects = report["effects"]
+    assert effects["queues"], "every example declares a priority queue"
+    for verdict in effects["monotonicity"]:
+        assert verdict["verdict"] in (
+            "monotone-decreasing",
+            "monotone-increasing",
+            "non-monotone",
+        )
+    for verdict in document["fusion"]:
+        assert len(verdict["pair"]) == 2
+        assert isinstance(verdict["fusable"], bool)

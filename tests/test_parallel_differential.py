@@ -166,6 +166,37 @@ def test_parallel_matches_oracle(
 
 
 # ----------------------------------------------------------------------
+# Schedule sanitizer under the parallel engine: one representative config
+# runs with ``sanitize=True`` on the parallel side.  The instrumented run
+# must stay bit-identical to the oracle AND validate real apply scopes,
+# proving the effect summaries hold for actual parallel executions.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", (1, 4))
+def test_sanitized_parallel_matches_oracle(weighted, workers):
+    schedule = Schedule(
+        priority_update="eager_with_fusion", delta=3, num_threads=workers
+    )
+    oracle_prog = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    oracle = oracle_prog.run(
+        ["prog", "-", "0"], graph=weighted, vectorize=False
+    )
+    sanitized_prog = compile_program(
+        ALL_PROGRAMS["sssp"],
+        schedule.with_(execution="parallel", sanitize=True),
+    )
+    sanitized = sanitized_prog.run(
+        ["prog", "-", "0"], graph=weighted, vectorize=True
+    )
+    assert_bit_identical(oracle, sanitized, workers)
+    sanitizer = sanitized.context.sanitizer
+    assert sanitizer is not None
+    assert len(sanitizer.log) > 0
+    assert {entry["udf"] for entry in sanitizer.log} == {"updateEdge"}
+
+
+# ----------------------------------------------------------------------
 # Lazy stats invariant: the private per-worker update buffers (Figure 5)
 # must not change round structure or relaxation totals.
 # ----------------------------------------------------------------------

@@ -1,0 +1,144 @@
+"""Tests for the in-repo stdlib-ast static linter (tools/static_lint.py).
+
+Covers each rule on synthetic snippets, the exemptions that keep the
+unused-import rule honest, and the cleanliness gate: the shipped source
+tree must produce zero findings.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+_SPEC = importlib.util.spec_from_file_location(
+    "static_lint", REPO / "tools" / "static_lint.py"
+)
+static_lint = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(static_lint)
+
+
+def _lint_snippet(tmp_path, source, name="snippet.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return static_lint.lint_file(path)
+
+
+class TestUnusedImports:
+    def test_flags_unused_import(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "import os\nprint('hi')\n")
+        assert len(findings) == 1
+        assert "L001" in findings[0]
+        assert "'os'" in findings[0]
+
+    def test_used_import_clean(self, tmp_path):
+        assert _lint_snippet(tmp_path, "import os\nprint(os.sep)\n") == []
+
+    def test_from_import_alias(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "from os import path as p\nprint('hi')\n"
+        )
+        assert len(findings) == 1 and "'p'" in findings[0]
+
+    def test_attribute_chain_counts_as_use(self, tmp_path):
+        assert (
+            _lint_snippet(tmp_path, "import os\nx = os.path.sep\n") == []
+        )
+
+    def test_init_py_exempt(self, tmp_path):
+        assert (
+            _lint_snippet(tmp_path, "import os\n", name="__init__.py") == []
+        )
+
+    def test_dunder_all_exempt(self, tmp_path):
+        source = "from os import sep\n__all__ = ['sep']\n"
+        assert _lint_snippet(tmp_path, source) == []
+
+    def test_future_import_exempt(self, tmp_path):
+        assert (
+            _lint_snippet(
+                tmp_path, "from __future__ import annotations\nx = 1\n"
+            )
+            == []
+        )
+
+    def test_type_checking_block_exempt(self, tmp_path):
+        source = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from os import sep\n"
+            'def f(x: "sep") -> None: ...\n'
+        )
+        assert _lint_snippet(tmp_path, source) == []
+
+
+class TestBareExcept:
+    def test_flags_bare_except(self, tmp_path):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        findings = _lint_snippet(tmp_path, source)
+        assert len(findings) == 1 and "L002" in findings[0]
+
+    def test_typed_except_clean(self, tmp_path):
+        source = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert _lint_snippet(tmp_path, source) == []
+
+
+class TestMutableDefaults:
+    @pytest.mark.parametrize(
+        "default", ["[]", "{}", "set()", "list()", "dict()", "[x for x in ()]"]
+    )
+    def test_flags_mutable_default(self, tmp_path, default):
+        findings = _lint_snippet(
+            tmp_path, f"def f(a, b={default}):\n    return b\n"
+        )
+        assert len(findings) == 1 and "L003" in findings[0]
+
+    def test_kwonly_default_also_checked(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path, "def f(*, b=[]):\n    return b\n"
+        )
+        assert len(findings) == 1 and "L003" in findings[0]
+
+    def test_none_default_clean(self, tmp_path):
+        assert (
+            _lint_snippet(tmp_path, "def f(b=None):\n    return b\n") == []
+        )
+
+    def test_tuple_default_clean(self, tmp_path):
+        assert (
+            _lint_snippet(tmp_path, "def f(b=()):\n    return b\n") == []
+        )
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "def f(:\n")
+        assert len(findings) == 1 and "L000" in findings[0]
+
+    def test_finding_format_matches_problem_matcher(self, tmp_path):
+        # file:line:col: error[CODE]: message — what the GitHub Actions
+        # problem matcher (and repro lint itself) parse.
+        import re
+
+        (finding,) = _lint_snippet(tmp_path, "import os\n")
+        assert re.match(
+            r"^.+:\d+:\d+: error\[L\d{3}\]: .+$", finding
+        ), finding
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert static_lint.main([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import os\n")
+        assert static_lint.main([str(dirty)]) == 1
+        assert static_lint.main([str(tmp_path / "missing.py")]) == 2
+        capsys.readouterr()
+
+
+class TestRepoIsClean:
+    @pytest.mark.parametrize("tree", ["src", "tools"])
+    def test_tree_has_no_findings(self, tree):
+        findings = static_lint.lint_paths([REPO / tree])
+        assert findings == [], "\n".join(findings)

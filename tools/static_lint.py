@@ -1,0 +1,215 @@
+#!/usr/bin/env python3
+"""A dependency-free static linter for the repro source tree.
+
+The container deliberately ships no third-party lint toolchain, so CI runs
+this stdlib-``ast`` checker instead.  Three rule families, chosen because
+each has bitten real compiler code:
+
+- ``L001`` unused import — an import whose bound name is never referenced
+  again in the module.  ``__init__.py`` files are exempt (re-export
+  surface), as are names listed in ``__all__``, ``__future__`` imports,
+  and imports under ``if TYPE_CHECKING:`` (their uses are quoted
+  annotations the AST sees as plain strings).
+- ``L002`` bare ``except:`` — swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch ``Exception`` (or something narrower) instead.
+- ``L003`` mutable default argument — a ``list``/``dict``/``set`` literal
+  or constructor call as a parameter default is shared across calls.
+
+Findings print as ``file:line:col: error[CODE]: message`` — the same shape
+``repro lint`` uses, so the GitHub Actions problem matcher annotates both.
+
+Usage::
+
+    python tools/static_lint.py src tests tools
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _finding(path: Path, node: ast.AST, code: str, message: str) -> str:
+    line = getattr(node, "lineno", 1)
+    column = getattr(node, "col_offset", 0) + 1
+    return f"{path}:{line}:{column}: error[{code}]: {message}"
+
+
+def _dunder_all(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                for item in ast.walk(node.value):
+                    if isinstance(item, ast.Constant) and isinstance(
+                        item.value, str
+                    ):
+                        names.add(item.value)
+    return names
+
+
+def _used_names(tree: ast.Module) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # a.b.c marks the root name `a` used (module-style access)
+            inner = node.value
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                used.add(inner.id)
+    return used
+
+
+def _type_checking_imports(tree: ast.Module) -> set[ast.AST]:
+    """Import nodes inside ``if TYPE_CHECKING:`` blocks (L001-exempt)."""
+    exempt: set[ast.AST] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        is_guard = (
+            isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+        ) or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if is_guard:
+            for child in ast.walk(node):
+                if isinstance(child, (ast.Import, ast.ImportFrom)):
+                    exempt.add(child)
+    return exempt
+
+
+def _check_unused_imports(path: Path, tree: ast.Module) -> list[str]:
+    if path.name == "__init__.py":
+        return []
+    exported = _dunder_all(tree)
+    used = _used_names(tree)
+    exempt = _type_checking_imports(tree)
+    findings = []
+    for node in ast.walk(tree):
+        if node in exempt:
+            continue
+        if isinstance(node, ast.Import):
+            aliases = [
+                (a, (a.asname or a.name.split(".")[0])) for a in node.names
+            ]
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            aliases = [(a, (a.asname or a.name)) for a in node.names]
+        else:
+            continue
+        for alias, bound in aliases:
+            if bound == "*" or bound in exported or bound in used:
+                continue
+            findings.append(
+                _finding(
+                    path,
+                    node,
+                    "L001",
+                    f"import {bound!r} is never used",
+                )
+            )
+    return findings
+
+
+def _check_bare_except(path: Path, tree: ast.Module) -> list[str]:
+    return [
+        _finding(
+            path,
+            node,
+            "L002",
+            "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+            "catch Exception or narrower",
+        )
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ExceptHandler) and node.type is None
+    ]
+
+
+def _check_mutable_defaults(path: Path, tree: ast.Module) -> list[str]:
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in MUTABLE_CALLS
+            )
+            if mutable:
+                findings.append(
+                    _finding(
+                        path,
+                        default,
+                        "L003",
+                        f"mutable default argument in {node.name}(); "
+                        "use None and construct inside the body",
+                    )
+                )
+    return findings
+
+
+def lint_file(path: Path) -> list[str]:
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as error:
+        return [
+            f"{path}:{error.lineno or 1}:{(error.offset or 0) + 1}: "
+            f"error[L000]: syntax error: {error.msg}"
+        ]
+    findings = []
+    findings += _check_unused_imports(path, tree)
+    findings += _check_bare_except(path, tree)
+    findings += _check_mutable_defaults(path, tree)
+    return findings
+
+
+def lint_paths(paths: list[Path]) -> list[str]:
+    findings: list[str] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            findings += lint_file(file)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    targets = [Path(arg) for arg in (argv or ["src"])]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    findings = lint_paths(targets)
+    for finding in findings:
+        print(finding)
+    checked = sum(
+        len(list(t.rglob("*.py"))) if t.is_dir() else 1 for t in targets
+    )
+    print(
+        f"static-lint: checked {checked} file(s), "
+        f"{len(findings)} finding(s)"
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
