@@ -115,10 +115,23 @@ class _CppEmitter:
         direction = self._queue_new.arguments[1]
         if not (
             isinstance(direction, ast.StringLiteral)
-            and direction.value in ("lower_first", "lower")
+            and direction.value
+            in ("lower_first", "lower", "higher_first", "higher")
         ):
             raise CompileError(
-                "the C++ backend currently supports lower_first queues only"
+                "the priority queue direction must be the literal "
+                "'lower_first' or 'higher_first'"
+            )
+        # Direction parameters threaded through the generated code: bucket
+        # orders ascend in both directions (order space); higher_first
+        # negates the coarsened priority and uses the large negative null.
+        self._dir_lower = direction.value in ("lower_first", "lower")
+        self._dir_sign_text = "1" if self._dir_lower else "-1"
+        self._null_literal = "kIntMax" if self._dir_lower else "kNullHigher"
+        if not self._dir_lower and self.schedule.uses_histogram:
+            raise CompileError(
+                "lazy_constant_sum requires a lower_first queue in the C++ "
+                "backend (the histogram transform tracks decrement counts)"
             )
         allow = self._queue_new.arguments[0]
         if (
@@ -361,7 +374,8 @@ class _CppEmitter:
         self.out.line(
             f"{target} = new LazyPriorityQueue({self._pv_name}.data(), "
             f"{self.edgeset_name}.num_nodes, delta, {start_text}, "
-            f"{self.schedule.num_buckets});"
+            f"{self.schedule.num_buckets}, {self._dir_sign_text}, "
+            f"{self._null_literal});"
         )
 
     # ------------------------------------------------------------------
@@ -642,13 +656,24 @@ class _CppEmitter:
         # (Figure 9(c), lines 22-26).
         out.line(f"if ({tracking}) {{")
         out.push()
-        out.line(f"size_t __dest_bin = (size_t)({new_value} / delta);")
-        out.line("if (__dest_bin < curr_bin_index) __dest_bin = curr_bin_index;")
-        out.line(
-            "if (__dest_bin >= local_bins.size()) "
-            "local_bins.resize(__dest_bin + 1);"
-        )
-        out.line(f"local_bins[__dest_bin].push_back({vertex});")
+        if self._dir_lower:
+            out.line(f"size_t __dest_bin = (size_t)({new_value} / delta);")
+            out.line(
+                "if (__dest_bin < curr_bin_index) __dest_bin = curr_bin_index;"
+            )
+            out.line(
+                "if (__dest_bin >= local_bins.size()) "
+                "local_bins.resize(__dest_bin + 1);"
+            )
+            out.line(f"local_bins[__dest_bin].push_back({vertex});")
+        else:
+            # higher_first works in order space: orders are negative, so the
+            # bins are a sorted map instead of a dense array.
+            out.line(
+                f"int64_t __dest_order = -floorDiv({new_value}, delta);"
+            )
+            out.line("if (__dest_order < curr_order) __dest_order = curr_order;")
+            out.line(f"local_bins[__dest_order].push_back({vertex});")
         out.pop()
         out.line("}")
 
@@ -656,6 +681,9 @@ class _CppEmitter:
     # Eager ordered-processing region (Section 5.2, Figure 9(c))
     # ------------------------------------------------------------------
     def _emit_eager_region(self) -> None:
+        if not self._dir_lower:
+            self._emit_eager_region_higher()
+            return
         loop = self.plan.loop
         udf = self.plan.udf
         if loop is None or udf is None:
@@ -797,6 +825,169 @@ class _CppEmitter:
         out.pop()
         out.line("}")
 
+    def _emit_eager_region_higher(self) -> None:
+        """The eager operator for ``higher_first`` queues.
+
+        Same two-slot shared frontier protocol as the lower_first region,
+        but in *order space*: priorities map to ``-floorDiv(p, delta)``,
+        which is negative and unbounded below, so thread-local bins are a
+        sorted ``std::map`` keyed by order instead of a dense array, and the
+        next-bucket election races on an ``int64_t`` order with ``kIntMax``
+        as the no-bucket sentinel.
+        """
+        loop = self.plan.loop
+        udf = self.plan.udf
+        if loop is None or udf is None:
+            raise CompileError("eager transform requires the recognized loop")
+        out = self.out
+        edgeset = loop.edgeset_name
+        src, dst, weight = self._udf_param_names(udf)
+        start = self._start_vertex_expr()
+        if start is None:
+            raise CompileError(
+                "the all-vertices priority queue form is not supported with "
+                "eager higher_first schedules in the C++ backend; use a "
+                "lazy schedule"
+            )
+        sum_udf = self.plan.dependence is not None and (
+            self.plan.dependence.needs_deduplication
+        )
+        fusion = self.schedule.uses_fusion
+        threshold = self.schedule.bucket_fusion_threshold
+
+        out.line(
+            "// --- eager ordered processing operator "
+            "(Figure 9(c), higher_first) ---"
+        )
+        out.line("{")
+        out.push()
+        out.line(f"std::vector<NodeID> frontier({edgeset}.num_edges() + 1);")
+        out.line("int64_t shared_orders[2] = {kIntMax, kIntMax};")
+        out.line("size_t frontier_tails[2] = {0, 0};")
+        out.line("bool stop_flag = false;")
+        if sum_udf:
+            out.line(
+                f"std::vector<uint8_t> processed({edgeset}.num_nodes, 0);"
+            )
+        out.line(f"frontier[0] = {self._expr(start)};")
+        out.line("frontier_tails[0] = 1;")
+        out.line(
+            f"shared_orders[0] = -floorDiv({self._pv_name}"
+            f"[{self._expr(start)}], delta);"
+        )
+        out.line("#pragma omp parallel")
+        out.line("{")
+        out.push()
+        out.line("std::map<int64_t, std::vector<NodeID>> local_bins;")
+        out.line("size_t iter = 0;")
+        out.line("while (shared_orders[iter & 1] != kIntMax) {")
+        out.push()
+        out.line("int64_t &curr_order = shared_orders[iter & 1];")
+        out.line("int64_t &next_order = shared_orders[(iter + 1) & 1];")
+        out.line("size_t &curr_frontier_tail = frontier_tails[iter & 1];")
+        out.line("size_t &next_frontier_tail = frontier_tails[(iter + 1) & 1];")
+        out.line("if (stop_flag) break;")
+        out.line("const int64_t curr_priority = -curr_order * delta;")
+        out.line("(void)curr_priority;")
+        out.line(f"auto relax = [&](NodeID {src}) {{")
+        out.push()
+        out.line(f"for (WNode __wn : {edgeset}.out_neigh({src})) {{")
+        out.push()
+        out.line(f"NodeID {dst} = __wn.v;")
+        if weight is not None:
+            out.line(f"WeightT {weight} = __wn.weight;")
+        out.line(f"(void){dst};")
+        self._in_eager_region = True
+        self._emit_udf_body(udf, mode="eager")
+        self._in_eager_region = False
+        out.pop()
+        out.line("}")
+        out.pop()
+        out.line("};")
+        out.line("#pragma omp for nowait schedule(dynamic, 64)")
+        out.line("for (size_t i = 0; i < curr_frontier_tail; i++) {")
+        out.push()
+        out.line("NodeID u = frontier[i];")
+        self._emit_eager_guard(sum_udf)
+        out.pop()
+        out.line("}")
+        if fusion:
+            out.line(
+                "// bucket fusion (Figure 7): drain this thread's current "
+                "local bucket"
+            )
+            out.line("while (true) {")
+            out.push()
+            out.line("auto __fuse_it = local_bins.find(curr_order);")
+            out.line(
+                f"if (__fuse_it == local_bins.end() || "
+                f"__fuse_it->second.empty() || "
+                f"__fuse_it->second.size() >= {threshold}) break;"
+            )
+            out.line("std::vector<NodeID> fused;")
+            out.line("fused.swap(__fuse_it->second);")
+            out.line("for (NodeID u : fused) {")
+            out.push()
+            self._emit_eager_guard(sum_udf)
+            out.pop()
+            out.line("}")
+            out.pop()
+            out.line("}")
+        out.line(
+            "for (auto __it = local_bins.lower_bound(curr_order); "
+            "__it != local_bins.end(); ++__it) {"
+        )
+        out.push()
+        out.line(
+            "if (!__it->second.empty()) { "
+            "atomicMinInt64(&next_order, __it->first); break; }"
+        )
+        out.pop()
+        out.line("}")
+        out.line("#pragma omp barrier")
+        out.line("#pragma omp single nowait")
+        out.line("{")
+        out.push()
+        if loop.stop_condition is not None:
+            out.line(
+                "if (next_order != kIntMax && "
+                f"({self._stop_condition_text(loop.stop_condition)})) "
+                "stop_flag = true;"
+            )
+        out.line("curr_order = kIntMax;")
+        out.line("curr_frontier_tail = 0;")
+        out.pop()
+        out.line("}")
+        out.line("{")
+        out.push()
+        out.line("auto __next_it = local_bins.find(next_order);")
+        out.line(
+            "if (__next_it != local_bins.end() && "
+            "!__next_it->second.empty()) {"
+        )
+        out.push()
+        out.line(
+            "size_t copy_start = __atomic_fetch_add(&next_frontier_tail, "
+            "__next_it->second.size(), __ATOMIC_RELAXED);"
+        )
+        out.line(
+            "std::copy(__next_it->second.begin(), __next_it->second.end(), "
+            "frontier.begin() + copy_start);"
+        )
+        out.line("local_bins.erase(__next_it);")
+        out.pop()
+        out.line("}")
+        out.pop()
+        out.line("}")
+        out.line("iter++;")
+        out.line("#pragma omp barrier")
+        out.pop()
+        out.line("}")
+        out.pop()
+        out.line("}")
+        out.pop()
+        out.line("}")
+
     def _emit_eager_prebinning(self, edgeset: str) -> None:
         """k-core style initialization: every tracked vertex starts in a
         thread-local bucket for its initial priority."""
@@ -842,6 +1033,20 @@ class _CppEmitter:
     def _emit_eager_guard(self, sum_udf: bool) -> None:
         """The stale-entry guard before relaxing a popped vertex."""
         out = self.out
+        if not self._dir_lower:
+            if sum_udf:
+                out.line(
+                    f"if (-floorDiv({self._pv_name}[u], delta) == curr_order "
+                    f"&& CASByte(&processed[u], 0, 1)) relax(u);"
+                )
+            else:
+                # The GAPBS check in order space: still in the current (or a
+                # later) bucket.
+                out.line(
+                    f"if (-floorDiv({self._pv_name}[u], delta) >= curr_order) "
+                    f"relax(u);"
+                )
+            return
         if sum_udf:
             # Strict ordering with peel-once semantics (k-core).
             out.line(
@@ -860,9 +1065,14 @@ class _CppEmitter:
         ``getCurrentPriority`` means the bin about to be processed."""
         saved = self._in_eager_region
         self._in_eager_region = False
+        next_priority = (
+            "((int64_t)next_bin_index * delta)"
+            if self._dir_lower
+            else "(-next_order * delta)"
+        )
         try:
             return self._expr(condition).replace(
-                "__CURRENT_PRIORITY__", "((int64_t)next_bin_index * delta)"
+                "__CURRENT_PRIORITY__", next_priority
             )
         finally:
             self._in_eager_region = saved

@@ -12,6 +12,7 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -54,6 +55,8 @@ class CompiledProgram:
     backend: str
     source_text: str
     _entry: Callable | None = field(default=None, repr=False)
+    #: Why the last native-mode run fell back to Python (None = it didn't).
+    native_fallback_reason: str | None = field(default=None, repr=False)
 
     @property
     def schedule(self) -> Schedule:
@@ -79,6 +82,23 @@ class CompiledProgram:
                 f"the {self.backend} backend generates source only; "
                 f"compile with backend='python' to run in-process"
             )
+        if self.plan.schedule.execution == "native":
+            from .native import NativeUnavailable, execute_native
+
+            try:
+                return execute_native(self, args, graph=graph)
+            except NativeUnavailable as exc:
+                # The documented degradation ladder: no toolchain (or an
+                # unlowerable program shape) falls back to the vectorized
+                # Python kernels.  The Python engine treats the "native"
+                # mode as serial, so the fallback is the PR-2 serial
+                # vectorized path.
+                self.native_fallback_reason = exc.reason
+                print(
+                    "N101: native execution unavailable; falling back to "
+                    f"vectorized Python: {exc.reason}",
+                    file=sys.stderr,
+                )
         context = Context(
             argv=args,
             schedule=self.plan.schedule,

@@ -84,6 +84,8 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "M001": "relaxed/fused schedule requires a monotone priority update",
     # V1xx: UDF vectorization pass (batch-kernel classification).
     "V101": "apply UDF fell back to the scalar interpreter (not vectorizable)",
+    # N1xx: native execution path.
+    "N101": "native execution unavailable; fell back to vectorized Python",
 }
 
 
@@ -413,6 +415,18 @@ def _dead_knob_rules():
             lambda s: s.num_threads == 1 and s.execution == "parallel",
             "num_threads=1 disables both work partitioning and the parallel "
             "engine the schedule requests",
+        ),
+        (
+            "parallelization",
+            lambda s: s.execution == "native",
+            "native kernels always use OpenMP dynamic scheduling; the "
+            "parallelization policy only steers the Python runtime",
+        ),
+        (
+            "chunk_size",
+            lambda s: s.execution == "native",
+            "native kernels hard-code schedule(dynamic, 64); chunk_size "
+            "only steers the Python runtime",
         ),
     )
 

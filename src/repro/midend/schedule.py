@@ -78,7 +78,10 @@ class Schedule:
         ``serial`` runs the virtual-thread partitions inline (the bit-exact
         historical behaviour and the differential-test oracle); ``parallel``
         runs them on real worker threads via the
-        :class:`~repro.runtime.parallel.ParallelExecutionEngine`
+        :class:`~repro.runtime.parallel.ParallelExecutionEngine`; ``native``
+        compiles the C++ backend into a cached shared library and runs it
+        in-process, falling back to serial vectorized execution (with an
+        ``N101`` diagnostic) when no C++ toolchain is available
         (``configExecution``).
     sanitize:
         Enable the schedule sanitizer: the runtime records every property
@@ -135,6 +138,12 @@ class Schedule:
             raise SchedulingError(
                 f"unknown execution mode {self.execution!r}; "
                 f"expected one of {EXECUTION_MODES}"
+            )
+        if self.execution == "native" and self.sanitize:
+            raise SchedulingError(
+                "the schedule sanitizer instruments the Python runtime; "
+                "native execution cannot be sanitized (drop --sanitize or "
+                "use execution='serial')"
             )
         if self.is_eager and self.direction != "SparsePush":
             # Section 4.2: direction optimization combines with the *lazy*

@@ -46,6 +46,7 @@ CATEGORIES = frozenset(
         "bucket",    # bucket-runtime structure events (advance, rebucket)
         "runtime",   # apply operators / rounds in runtime_support
         "parallel",  # parallel-engine produce/barrier/commit
+        "native",    # native path: toolchain/codegen/compile/load/execute
         "harness",   # eval harness cells
         "cli",       # top-level command spans
         "meta",      # thread-name metadata

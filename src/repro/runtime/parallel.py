@@ -58,7 +58,11 @@ from ..obs import span as trace_span
 
 __all__ = ["ParallelExecutionEngine", "EXECUTION_MODES", "shutdown_executors"]
 
-EXECUTION_MODES = ("serial", "parallel")
+# "native" dispatches to a compiled shared-library kernel before the Python
+# runtime is entered; if that falls through (no toolchain — N101) the Python
+# engine treats the mode exactly like "serial" (nothing below branches on
+# it), which *is* the documented fallback behaviour.
+EXECUTION_MODES = ("serial", "parallel", "native")
 
 # ---------------------------------------------------------------------------
 # Shared worker pools

@@ -1,0 +1,53 @@
+"""Golden-source snapshots for the C++ backend.
+
+``generate_cpp`` is deterministic, so the exact generated source for a
+(program, inline schedule) pair is checked in under ``tests/goldens/cpp/``
+and any codegen change shows up as a reviewable golden diff.  The two
+pinned examples cover the backend's most schedule-sensitive shapes:
+
+* ``kcore_peel.gt``    — lazy_constant_sum (histogram path, Figure 10),
+* ``widest_path_eager.gt`` — higher_first eager (map-based order bins).
+
+Regenerate after an intentional codegen change with::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_cpp_golden.py
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.backend import compile_program
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens" / "cpp"
+PINNED = ("kcore_peel", "widest_path_eager")
+
+
+def _generate(stem: str) -> str:
+    source = (EXAMPLES_DIR / f"{stem}.gt").read_text()
+    # schedule=None: the example's own inline ``schedule:`` block applies.
+    return compile_program(source, None, backend="cpp").source_text
+
+
+@pytest.mark.parametrize("stem", PINNED)
+def test_generated_cpp_matches_golden(stem: str) -> None:
+    golden_path = GOLDEN_DIR / f"{stem}.cpp"
+    text = _generate(stem)
+    if os.environ.get("REPRO_REGEN_GOLDENS") == "1":
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(text)
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with REPRO_REGEN_GOLDENS=1 "
+        "to create it"
+    )
+    assert text == golden_path.read_text(), (
+        f"generated C++ for {stem}.gt drifted from its golden; if the "
+        "change is intentional regenerate with REPRO_REGEN_GOLDENS=1"
+    )
+
+
+@pytest.mark.parametrize("stem", PINNED)
+def test_generation_is_deterministic(stem: str) -> None:
+    assert _generate(stem) == _generate(stem)

@@ -1,0 +1,335 @@
+"""Differential tests for the native (compiled shared-library) path.
+
+The contract under test: for every ordered program × schedule combination,
+``Schedule(execution="native")`` produces output vectors **bit-identical**
+to the sequential scalar oracle (``vectorize=False``), because the output
+of an ordered algorithm is a schedule-independent fixpoint.  Interpreter
+statistics (rounds, relaxations, ...) are interpreter-only by design and
+are never compared.
+
+Without a C++ toolchain every test here **skips** (never fails) — the same
+machines get the runtime's graceful ``N101`` degradation, which has its own
+tests below that run everywhere.
+"""
+
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend import compile_program
+from repro.backend.native import (
+    NativeUnavailable,
+    discover_toolchain,
+    generate_native_cpp,
+    native_output_names,
+    reset_toolchain_cache,
+)
+from repro.errors import SchedulingError
+from repro.graph import from_edges, rmat
+from repro.lang import ALL_PROGRAMS
+from repro.midend import Schedule
+
+HAS_CXX = any(shutil.which(c) for c in ("g++", "clang++", "c++"))
+needs_toolchain = pytest.mark.skipif(
+    not HAS_CXX, reason="no C++ toolchain (g++/clang++/c++); native tests skip"
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module", autouse=True)
+def kernel_cache(tmp_path_factory):
+    """Isolate the on-disk kernel cache from the user's ~/.cache."""
+    path = tmp_path_factory.mktemp("kernels")
+    saved = os.environ.get("REPRO_KERNEL_CACHE")
+    os.environ["REPRO_KERNEL_CACHE"] = str(path)
+    yield path
+    if saved is None:
+        os.environ.pop("REPRO_KERNEL_CACHE", None)
+    else:
+        os.environ["REPRO_KERNEL_CACHE"] = saved
+
+
+@pytest.fixture(scope="module")
+def social():
+    return rmat(10, 16, seed=3, weights=(1, 4))
+
+
+@pytest.fixture(scope="module")
+def social_start(social):
+    return int(np.argmax(social.out_degrees()))
+
+
+def run_both(program_name, schedule, graph, args):
+    """Run native and the scalar oracle; return (native, oracle, program)."""
+    source = ALL_PROGRAMS[program_name]
+    oracle_prog = compile_program(source, schedule)
+    native_prog = compile_program(source, schedule.with_(execution="native"))
+    oracle = oracle_prog.run(args, graph=graph, vectorize=False)
+    native = native_prog.run(args, graph=graph)
+    return native, oracle, native_prog
+
+
+def assert_vectors_identical(native, oracle):
+    compared = 0
+    for name, value in oracle.globals.items():
+        if not isinstance(value, np.ndarray):
+            continue
+        np.testing.assert_array_equal(
+            native.globals[name], value, err_msg=f"vector {name!r} diverged"
+        )
+        compared += 1
+    assert compared, "program produced no output vectors to compare"
+
+
+# ---------------------------------------------------------------------------
+# The differential matrix (ISSUE: SSSP / wBFS / widest-path × lazy / eager)
+# ---------------------------------------------------------------------------
+
+MATRIX = [
+    ("sssp", Schedule(priority_update="lazy", delta=4)),
+    ("sssp", Schedule(priority_update="eager_no_fusion", delta=4)),
+    ("sssp", Schedule(priority_update="eager_with_fusion", delta=4)),
+    ("sssp", Schedule(priority_update="lazy", delta=4, direction="DensePull")),
+    ("wbfs", Schedule(priority_update="lazy", delta=1)),
+    ("wbfs", Schedule(priority_update="eager_no_fusion", delta=1)),
+    ("widest", Schedule(priority_update="lazy", delta=2)),
+    ("widest", Schedule(priority_update="eager_no_fusion", delta=2)),
+    ("kcore", Schedule(priority_update="lazy_constant_sum", num_buckets=64)),
+    ("ppsp", Schedule(priority_update="eager_with_fusion", delta=4)),
+]
+
+
+def _matrix_id(case):
+    name, schedule = case
+    tag = schedule.priority_update
+    if schedule.direction != "SparsePush":
+        tag += f"-{schedule.direction}"
+    return f"{name}-{tag}"
+
+
+@needs_toolchain
+@pytest.mark.parametrize("case", MATRIX, ids=_matrix_id)
+def test_native_matches_scalar_oracle(case, social, social_start):
+    name, schedule = case
+    args = ["prog", "-", str(social_start)]
+    if name == "ppsp":
+        args.append(str((social_start + 7) % social.num_vertices))
+    graph = social.symmetrized() if name == "kcore" else social
+    native, oracle, program = run_both(name, schedule, graph, args)
+    assert program.native_fallback_reason is None
+    assert_vectors_identical(native, oracle)
+
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.gt")
+)
+
+
+@needs_toolchain
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_every_example_native_matches_oracle(example, social, social_start):
+    """Acceptance bar: every checked-in .gt example is bit-identical to the
+    scalar oracle under its own inline schedule, run natively."""
+    source = example.read_text()
+    base = compile_program(source, None).schedule
+    graph = social.symmetrized() if "kcore" in example.stem else social
+    args = ["prog", "-", str(social_start)]
+    oracle = compile_program(source, base).run(
+        args, graph=graph, vectorize=False
+    )
+    native_prog = compile_program(source, base.with_(execution="native"))
+    native = native_prog.run(args, graph=graph)
+    assert native_prog.native_fallback_reason is None
+    assert_vectors_identical(native, oracle)
+
+
+@needs_toolchain
+def test_repeated_runs_and_graph_swap(social, social_start):
+    """Per-process kernel state (transpose caches, queue globals) must be
+    re-derived on every entry call, including for a different graph."""
+    schedule = Schedule(
+        priority_update="lazy", delta=4, direction="DensePull"
+    )
+    args = ["prog", "-", str(social_start)]
+    native1, oracle1, program = run_both("sssp", schedule, social, args)
+    assert_vectors_identical(native1, oracle1)
+    # Same compiled program object, different graph: the run-stamped
+    # transpose must be rebuilt, not reused.
+    other = rmat(9, 16, seed=7, weights=(1, 4))
+    other_start = int(np.argmax(other.out_degrees()))
+    oracle_prog = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    args2 = ["prog", "-", str(other_start)]
+    oracle2 = oracle_prog.run(args2, graph=other, vectorize=False)
+    native2 = program.run(args2, graph=other)
+    assert_vectors_identical(native2, oracle2)
+    # And back to the first graph — still identical.
+    native3 = program.run(args, graph=social)
+    assert_vectors_identical(native3, oracle1)
+
+
+@needs_toolchain
+def test_second_invocation_hits_kernel_cache(social, social_start, monkeypatch):
+    """A repeated (program, schedule) pair must spawn **no** compiler
+    subprocess — the disk cache serves the kernel."""
+    import repro.backend.native.build as build_mod
+
+    schedule = Schedule(priority_update="lazy", delta=3, execution="native")
+    program = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    args = ["prog", "-", str(social_start)]
+    first = program.run(args, graph=social)
+    assert program.native_fallback_reason is None
+
+    def no_subprocess(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("cache hit must not spawn a compiler subprocess")
+
+    monkeypatch.setattr(build_mod.subprocess, "run", no_subprocess)
+    second = program.run(args, graph=social)
+    assert_vectors_identical(second, first)
+
+
+@needs_toolchain
+def test_native_runs_from_graph_file(tmp_path, social, social_start):
+    """The CLI-style path: graph loaded from argv[1] instead of in-memory."""
+    from repro.graph import save_edge_list
+
+    graph_file = tmp_path / "g.el"
+    save_edge_list(social, graph_file)
+    schedule = Schedule(priority_update="lazy", delta=4, execution="native")
+    program = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    from_file = program.run(["prog", str(graph_file), str(social_start)])
+    assert program.native_fallback_reason is None
+    oracle = compile_program(
+        ALL_PROGRAMS["sssp"], schedule.with_(execution="serial")
+    ).run(["prog", "-", str(social_start)], graph=social, vectorize=False)
+    assert_vectors_identical(from_file, oracle)
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder (these run with or without a toolchain)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def no_toolchain(monkeypatch):
+    """Simulate a compiler-less machine via the exclusive CXX override."""
+    reset_toolchain_cache()
+    monkeypatch.setenv("REPRO_NATIVE_CXX", "/nonexistent/repro-no-cxx")
+    yield
+    reset_toolchain_cache()
+
+
+def test_no_toolchain_falls_back_with_n101(
+    no_toolchain, social, social_start, capsys
+):
+    schedule = Schedule(priority_update="lazy", delta=4, execution="native")
+    program = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    args = ["prog", "-", str(social_start)]
+    result = program.run(args, graph=social)
+    assert program.native_fallback_reason is not None
+    assert "toolchain" in program.native_fallback_reason
+    assert "N101" in capsys.readouterr().err
+    # The fallback is the serial vectorized Python path: same fixpoint.
+    oracle = compile_program(
+        ALL_PROGRAMS["sssp"], schedule.with_(execution="serial")
+    ).run(args, graph=social, vectorize=False)
+    assert_vectors_identical(result, oracle)
+
+
+def test_unordered_program_falls_back_with_n101(social, social_start, capsys):
+    """bellman_ford has no priority queue — the C++ backend cannot lower it,
+    so native mode degrades instead of erroring."""
+    schedule = Schedule(execution="native")
+    program = compile_program(ALL_PROGRAMS["bellman_ford"], schedule)
+    result = program.run(["prog", "-", str(social_start)], graph=social)
+    assert program.native_fallback_reason is not None
+    assert "N101" in capsys.readouterr().err
+    assert isinstance(result.globals.get("dist"), np.ndarray)
+
+
+def test_generate_for_unordered_raises_native_unavailable():
+    from repro.backend.native.runner import generate_for_plan
+
+    program = compile_program(ALL_PROGRAMS["bellman_ford"], Schedule())
+    with pytest.raises(NativeUnavailable):
+        generate_for_plan(program.plan)
+
+
+def test_sanitize_plus_native_rejected():
+    with pytest.raises(SchedulingError, match="sanitiz"):
+        Schedule(execution="native", sanitize=True)
+
+
+def test_native_output_names_follow_declaration_order():
+    """The ABI's out-buffer order is the program's vector declaration
+    order — the runner and the kernel must agree on it."""
+    program = compile_program(
+        ALL_PROGRAMS["widest"], Schedule(priority_update="lazy", delta=2)
+    )
+    names = native_output_names(program.plan)
+    assert "width" in names
+
+
+def test_generated_source_embeds_effect_summary():
+    program = compile_program(
+        ALL_PROGRAMS["sssp"], Schedule(priority_update="lazy", delta=4)
+    )
+    text = generate_native_cpp(program.plan)
+    assert "abi_version: 1" in text
+    assert "effect_summary:" in text
+    assert 'extern "C" int64_t repro_native_run(' in text
+    assert "repro_native_abi_version" in text
+
+
+def test_dead_knobs_under_native_flagged():
+    """parallelization / chunk_size only steer the Python runtime; under
+    execution=native they are dead and lint says so (S002)."""
+    from repro.lang.parser import parse
+    from repro.midend.analysis.diagnostics import check_schedule_compat
+    from repro.midend.schedule import SchedulingProgram
+
+    scheduling = (
+        SchedulingProgram()
+        .config_execution("s1", "native")
+        .config_apply_parallelization("s1", "static-vertex-parallel")
+        .config_chunk_size("s1", 32)
+    )
+    diags = check_schedule_compat(parse(ALL_PROGRAMS["sssp"]), scheduling)
+    s002 = [d for d in diags if d.code == "S002"]
+    messages = " | ".join(d.message for d in s002)
+    assert "parallelization" in messages
+    assert "chunk_size" in messages
+
+
+def test_diamond_exact_distances():
+    """Tiny deterministic graph with known answers, through the whole
+    native path when a toolchain exists, otherwise via the N101 fallback —
+    either way the answers must be exact."""
+    graph = from_edges(
+        5, [(0, 1, 2), (0, 2, 7), (1, 2, 3), (2, 3, 1), (1, 3, 10), (3, 4, 1)]
+    )
+    schedule = Schedule(priority_update="lazy", delta=2, execution="native")
+    program = compile_program(ALL_PROGRAMS["sssp"], schedule)
+    result = program.run(["prog", "-", "0"], graph=graph)
+    np.testing.assert_array_equal(result.vector("dist"), [0, 2, 5, 6, 7])
+    if HAS_CXX:
+        assert program.native_fallback_reason is None
+
+
+@needs_toolchain
+def test_toolchain_probe_is_cached(monkeypatch):
+    """discover_toolchain probes once per process."""
+    reset_toolchain_cache()
+    first = discover_toolchain()
+    assert first is not None
+
+    import repro.backend.native.toolchain as tc_mod
+
+    def no_probe(*a, **k):  # pragma: no cover - failure path
+        raise AssertionError("cached probe must not re-run the compiler")
+
+    monkeypatch.setattr(tc_mod.subprocess, "run", no_probe)
+    assert discover_toolchain() is first

@@ -116,12 +116,17 @@ class TestWidestThroughCompiler:
         widths = result.vector("width")
         assert np.array_equal(widths, reference)
 
-    def test_cpp_backend_rejects_higher_first(self):
+    def test_cpp_backend_generates_higher_first(self):
+        """higher_first lowers through the order-space abstraction: the
+        direction sign and the higher-first null sentinel reach the queue,
+        and eager routing uses signed floor-divided orders (dense bins are
+        infeasible when priorities start at 2^40)."""
         from repro.backend import compile_program
-        from repro.errors import CompileError
         from repro.lang import program_source
 
-        with pytest.raises(CompileError):
-            compile_program(
-                program_source("widest"), Schedule(delta=8), backend="cpp"
-            )
+        text = compile_program(
+            program_source("widest"), Schedule(delta=8), backend="cpp"
+        ).source_text
+        assert "kNullHigher" in text
+        assert "floorDiv" in text
+        assert "std::map<int64_t, std::vector<NodeID>> local_bins" in text
