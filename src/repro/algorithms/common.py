@@ -31,7 +31,13 @@ from ..midend.schedule import Schedule
 from ..runtime.stats import RuntimeStats
 from ..runtime.threads import VirtualThreadPool
 
-__all__ = ["ShortestPathResult", "run_delta_stepping", "check_source", "UNREACHABLE"]
+__all__ = [
+    "ShortestPathResult",
+    "run_delta_stepping",
+    "resume_delta_stepping",
+    "check_source",
+    "UNREACHABLE",
+]
 
 # Public alias for the "no path" sentinel in result distances.
 UNREACHABLE = INT_MAX
@@ -93,7 +99,7 @@ def run_delta_stepping(
         check_source(graph, target, "target")
     if heuristic is not None and target is None:
         raise GraphError("a heuristic requires a target vertex")
-    if graph.num_edges and graph.weights.min() < 0:
+    if graph.has_negative_weights:
         raise GraphError(
             "Δ-stepping requires non-negative edge weights (a negative "
             "weight would violate the monotone-priority contract)"
@@ -137,16 +143,111 @@ def run_delta_stepping(
             target_priority = best if heuristic is None else best + heuristic[target]
             return queue.get_current_priority() >= target_priority
 
+    _drive_min_relaxation(
+        graph,
+        distances,
+        priorities,
+        [source],
+        schedule,
+        stats,
+        pool,
+        heuristic=heuristic,
+        should_stop=should_stop,
+        relaxed_ordering=relaxed_ordering,
+        queue_holder=target_queue_holder if target is not None else None,
+    )
+
+    return ShortestPathResult(
+        distances=distances,
+        stats=stats,
+        schedule=schedule,
+        source=source,
+        target=target,
+    )
+
+
+def resume_delta_stepping(
+    graph: CSRGraph,
+    source: int,
+    schedule: Schedule,
+    distances: np.ndarray,
+    seeds: np.ndarray,
+    relaxed_ordering: bool = False,
+    stats: RuntimeStats | None = None,
+) -> ShortestPathResult:
+    """Resume Δ-stepping from an already-partially-converged state.
+
+    ``distances`` is the live value vector (mutated in place); ``seeds``
+    are the vertices whose out-edges may still be tense — the queue is
+    seeded with them at their *current* priorities instead of the source
+    at 0, which is the entire difference from :func:`run_delta_stepping`.
+    With an empty seed set the state is already a fixpoint and the call
+    returns immediately.
+    """
+    check_source(graph, source)
+    if distances.shape != (graph.num_vertices,):
+        raise GraphError("distances must have one entry per vertex")
+    if graph.has_negative_weights:
+        raise GraphError(
+            "Δ-stepping requires non-negative edge weights (a negative "
+            "weight would violate the monotone-priority contract)"
+        )
+    if schedule.uses_histogram:
+        raise SchedulingError(
+            "lazy_constant_sum requires a constant-difference updatePrioritySum "
+            "UDF; shortest-path relaxations are write-min updates"
+        )
+    if stats is None:
+        stats = RuntimeStats(num_threads=schedule.num_threads)
+    pool = VirtualThreadPool(
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
+    )
+    stats.execution = schedule.execution
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size:
+        _drive_min_relaxation(
+            graph,
+            distances,
+            distances,
+            seeds,
+            schedule,
+            stats,
+            pool,
+            relaxed_ordering=relaxed_ordering,
+        )
+    return ShortestPathResult(
+        distances=distances, stats=stats, schedule=schedule, source=source
+    )
+
+
+def _drive_min_relaxation(
+    graph: CSRGraph,
+    distances: np.ndarray,
+    priorities: np.ndarray,
+    initial_vertices,
+    schedule: Schedule,
+    stats: RuntimeStats,
+    pool: VirtualThreadPool,
+    heuristic: np.ndarray | None = None,
+    should_stop=None,
+    relaxed_ordering: bool = False,
+    queue_holder: list | None = None,
+) -> None:
+    """Build the scheduled queue seeded with ``initial_vertices`` at their
+    current priorities and drive the matching executor to the fixpoint."""
     if relaxed_ordering:
         queue = RelaxedPriorityQueue(
             priorities,
             delta=schedule.delta,
             slack=4,
             stats=stats,
-            initial_vertices=[source],
+            initial_vertices=initial_vertices,
         )
-        if target is not None:
-            target_queue_holder.append(queue)
+        if queue_holder is not None:
+            queue_holder.append(queue)
         relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
         run_relaxed(graph, queue, relax, pool, stats, should_stop)
     elif schedule.is_eager:
@@ -155,10 +256,10 @@ def run_delta_stepping(
             delta=schedule.delta,
             num_threads=schedule.num_threads,
             stats=stats,
-            initial_vertices=[source],
+            initial_vertices=initial_vertices,
         )
-        if target is not None:
-            target_queue_holder.append(queue)
+        if queue_holder is not None:
+            queue_holder.append(queue)
         relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
         threshold = schedule.bucket_fusion_threshold if schedule.uses_fusion else 0
         run_eager(graph, queue, relax, pool, stats, threshold, should_stop)
@@ -168,12 +269,12 @@ def run_delta_stepping(
             delta=schedule.delta,
             num_open_buckets=schedule.num_buckets,
             stats=stats,
-            initial_vertices=[source],
+            initial_vertices=initial_vertices,
         )
-        if target is not None:
-            target_queue_holder.append(queue)
+        if queue_holder is not None:
+            queue_holder.append(queue)
         if schedule.direction == "DensePull":
-            frontier_map = np.zeros(n, dtype=bool)
+            frontier_map = np.zeros(graph.num_vertices, dtype=bool)
             relax = make_min_relaxer_pull(
                 graph, distances, queue, stats, frontier_map, heuristic
             )
@@ -181,11 +282,3 @@ def run_delta_stepping(
         else:
             relax = make_min_relaxer(graph, distances, queue, stats, heuristic)
             run_lazy(graph, queue, relax, pool, stats, should_stop)
-
-    return ShortestPathResult(
-        distances=distances,
-        stats=stats,
-        schedule=schedule,
-        source=source,
-        target=target,
-    )

@@ -30,12 +30,20 @@ from ..runtime.stats import RuntimeStats
 from ..runtime.threads import VirtualThreadPool
 from .common import ShortestPathResult, check_source
 
-__all__ = ["widest_path", "widest_path_reference", "DEFAULT_WIDEST_SCHEDULE"]
+__all__ = [
+    "widest_path",
+    "widest_path_reference",
+    "resume_widest_path",
+    "DEFAULT_WIDEST_SCHEDULE",
+    "SOURCE_WIDTH",
+]
 
 DEFAULT_WIDEST_SCHEDULE = Schedule(priority_update="eager_with_fusion", delta=8)
 
 # A source capacity larger than any edge weight ("infinite" bottleneck).
 _SOURCE_WIDTH = np.int64(2**40)
+# Public alias: the incremental engine pins the source at this capacity.
+SOURCE_WIDTH = _SOURCE_WIDTH
 
 
 def _make_max_relaxer(graph: CSRGraph, widths: np.ndarray, queue, stats: RuntimeStats):
@@ -104,6 +112,71 @@ def widest_path(
     widths = np.full(n, NULL_PRIORITY_HIGHER, dtype=np.int64)
     widths[source] = _SOURCE_WIDTH
 
+    _drive_max_relaxation(graph, widths, [source], schedule, stats, pool)
+
+    # Normalize: unreachable vertices report width 0.
+    widths[widths == NULL_PRIORITY_HIGHER] = 0
+    return ShortestPathResult(
+        distances=widths, stats=stats, schedule=schedule, source=source
+    )
+
+
+def resume_widest_path(
+    graph: CSRGraph,
+    source: int,
+    schedule: Schedule,
+    widths: np.ndarray,
+    seeds: np.ndarray,
+    stats: RuntimeStats | None = None,
+) -> ShortestPathResult:
+    """Resume widest path from a partially-converged width vector.
+
+    ``widths`` must be in *internal* form: ``NULL_PRIORITY_HIGHER`` for
+    unreachable vertices and :data:`SOURCE_WIDTH` at the source (the
+    normalized 0-for-unreachable form is ambiguous once zero-weight edges
+    exist).  The vector is mutated in place and returned *normalized* in
+    the result, mirroring :func:`widest_path`.
+    """
+    check_source(graph, source)
+    if schedule is None:
+        schedule = DEFAULT_WIDEST_SCHEDULE
+    if schedule.uses_histogram:
+        raise SchedulingError(
+            "widest path performs write-max updates, not constant sums"
+        )
+    if schedule.direction != "SparsePush":
+        raise SchedulingError(
+            "widest path currently supports push traversal only"
+        )
+    if stats is None:
+        stats = RuntimeStats(num_threads=schedule.num_threads)
+    pool = VirtualThreadPool(
+        schedule.num_threads,
+        schedule.parallelization,
+        schedule.chunk_size,
+        execution=schedule.execution,
+    )
+    stats.execution = schedule.execution
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size:
+        _drive_max_relaxation(graph, widths, seeds, schedule, stats, pool)
+    normalized = widths.copy()
+    normalized[normalized == NULL_PRIORITY_HIGHER] = 0
+    return ShortestPathResult(
+        distances=normalized, stats=stats, schedule=schedule, source=source
+    )
+
+
+def _drive_max_relaxation(
+    graph: CSRGraph,
+    widths: np.ndarray,
+    initial_vertices,
+    schedule: Schedule,
+    stats: RuntimeStats,
+    pool: VirtualThreadPool,
+) -> None:
+    """Build the higher-first queue seeded at current widths and drive the
+    scheduled executor to the fixpoint."""
     if schedule.is_eager:
         queue = EagerBucketQueue(
             widths,
@@ -111,7 +184,7 @@ def widest_path(
             delta=schedule.delta,
             num_threads=schedule.num_threads,
             stats=stats,
-            initial_vertices=[source],
+            initial_vertices=initial_vertices,
         )
         relax = _make_max_relaxer(graph, widths, queue, stats)
         threshold = schedule.bucket_fusion_threshold if schedule.uses_fusion else 0
@@ -123,16 +196,10 @@ def widest_path(
             delta=schedule.delta,
             num_open_buckets=schedule.num_buckets,
             stats=stats,
-            initial_vertices=[source],
+            initial_vertices=initial_vertices,
         )
         relax = _make_max_relaxer(graph, widths, queue, stats)
         run_lazy(graph, queue, relax, pool, stats)
-
-    # Normalize: unreachable vertices report width 0.
-    widths[widths == NULL_PRIORITY_HIGHER] = 0
-    return ShortestPathResult(
-        distances=widths, stats=stats, schedule=schedule, source=source
-    )
 
 
 def widest_path_reference(graph: CSRGraph, source: int) -> np.ndarray:

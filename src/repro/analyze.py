@@ -33,12 +33,8 @@ __all__ = [
 ]
 
 
-def analyze_source(
-    source: str,
-    schedule: Schedule | None = None,
-    filename: str | None = None,
-) -> tuple[ProgramEffectSummary, Schedule]:
-    """Compile ``source`` through the midend and return its effect summary.
+def _plan_source(source: str, schedule: Schedule | None, filename: str | None):
+    """Compile ``source`` through the midend and return the full plan.
 
     Schedule resolution mirrors ``repro lint``: with no explicit schedule
     the program's own inline ``schedule:`` block applies, and programs
@@ -55,6 +51,16 @@ def analyze_source(
         plan = plan_program(program, Schedule(priority_update="lazy"))
     if plan.effects is None:  # pragma: no cover - plan_program always fills it
         raise CompileError("midend produced no effect summary")
+    return plan
+
+
+def analyze_source(
+    source: str,
+    schedule: Schedule | None = None,
+    filename: str | None = None,
+) -> tuple[ProgramEffectSummary, Schedule]:
+    """Compile ``source`` through the midend and return its effect summary."""
+    plan = _plan_source(source, schedule, filename)
     return plan.effects, plan.schedule
 
 
@@ -72,7 +78,8 @@ def build_analysis_document(
     programs: dict[str, dict] = {}
     summaries: dict[str, ProgramEffectSummary] = {}
     for name, source in sources.items():
-        effects, resolved = analyze_source(source, schedule, filename=name)
+        plan = _plan_source(source, schedule, filename=name)
+        effects, resolved = plan.effects, plan.schedule
         summaries[name] = effects
         programs[name] = {
             "schedule": {
@@ -82,6 +89,11 @@ def build_analysis_document(
             },
             "effects": effects.to_json(),
             "runtime_summary": effects.runtime_summary(),
+            "incremental": (
+                plan.incremental_eligibility.to_json()
+                if plan.incremental_eligibility is not None
+                else None
+            ),
         }
     if len(summaries) == 1:
         ((name, effects),) = summaries.items()
@@ -133,6 +145,22 @@ def render_analysis_text(document: dict) -> str:
                 f"  monotonicity {verdict['site']}: {verdict['verdict']} "
                 f"({status}) — {verdict['reason']}"
             )
+        incremental = report.get("incremental")
+        if incremental is not None:
+            if incremental["eligible"]:
+                lines.append(
+                    f"  incremental: ELIGIBLE ({incremental['kind']}-combine"
+                    + (
+                        f", shape={incremental['relaxation_shape']}"
+                        if incremental["relaxation_shape"]
+                        else ""
+                    )
+                    + ")"
+                )
+            else:
+                lines.append("  incremental: ineligible")
+                for reason in incremental["reasons"]:
+                    lines.append(f"    - {reason}")
         lines.append("")
     for verdict in document["fusion"]:
         first, second = verdict["pair"]

@@ -108,6 +108,7 @@ def _schedule_from_args(args: argparse.Namespace) -> Schedule:
         num_threads=args.threads,
         execution=getattr(args, "execution", "serial"),
         sanitize=getattr(args, "sanitize", False),
+        incremental=getattr(args, "incremental", False),
     )
 
 
@@ -141,6 +142,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "incremental", False):
+        return _cmd_run_incremental(args)
     source = _load_source(args.program)
     program = compile_program(source, _schedule_from_args(args))
     result = program.run([args.program, args.graph, *args.args])
@@ -173,6 +176,81 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"min={finite.min()} max={finite.max()}" if finite.size else "empty"
             )
             print(f"vector {name}: size={value.size} {summary}")
+    return 0
+
+
+def _cmd_run_incremental(args: argparse.Namespace) -> int:
+    """``repro run --incremental``: converge, mutate, resume, verify.
+
+    The program is compiled first so the I001 eligibility gate runs on the
+    actual DSL (ineligible programs — the k-core peel, extern processors —
+    fail at plan time with the analysis's reasons).  The recognized
+    relaxation shape then routes onto the interpreted incremental engine;
+    after every mutation batch from the script the resumed vector is
+    checked bit-for-bit against a from-scratch run on the mutated graph
+    (disable with ``--no-verify``).
+    """
+    from .graph.mutations import parse_mutation_script
+    from .incremental import IncrementalSession
+
+    if not args.mutations:
+        raise GraphItError("--incremental requires --mutations <script>")
+    source = _load_source(args.program)
+    schedule = _schedule_from_args(args)
+    program = compile_program(source, schedule)
+    verdict = program.plan.incremental_eligibility
+    if verdict is None or not verdict.eligible:  # pragma: no cover - plan gate
+        raise GraphItError("program is not eligible for incremental resume")
+    if verdict.relaxation_shape == "unrecognized":
+        raise GraphItError(
+            "the program's ordered loop is an extremal fixpoint, but its "
+            "relaxation body is not one the incremental engine implements "
+            "(expected vec[src] + weight under min, or min(vec[src], "
+            "weight) under max)"
+        )
+    algorithm = "sssp" if verdict.kind == "min" else "widest_path"
+
+    graph = _load_graph(args.graph)
+    source_vertex = int(args.args[0]) if args.args else 0
+    with open(args.mutations, "r", encoding="utf-8") as handle:
+        batches = parse_mutation_script(handle.read())
+    if not batches:
+        raise GraphItError(f"mutation script {args.mutations!r} is empty")
+
+    session = IncrementalSession(
+        graph, algorithm, source=source_vertex, schedule=schedule
+    )
+    base = session.run()
+    print(
+        f"converged from scratch: rounds={base.stats.rounds} "
+        f"relaxations={base.stats.relaxations}"
+    )
+    verify = not args.no_verify
+    for index, batch in enumerate(batches):
+        result = session.apply(batch)
+        line = (
+            f"batch {index}: mutations={len(batch)} seeds={result.seeds} "
+            f"invalidated={result.invalidated} "
+            f"touched={result.vertices_touched}/{graph.num_vertices} "
+            f"relaxations={result.stats.relaxations}"
+        )
+        if verify:
+            oracle = IncrementalSession(
+                session.graph, algorithm, source=source_vertex, schedule=schedule
+            )
+            if not np.array_equal(result.values, oracle.run().values):
+                print(line + " verify=MISMATCH")
+                print(
+                    "run --incremental: resumed vector diverged from the "
+                    "full re-run oracle"
+                )
+                return 1
+            line += " verify=ok"
+        print(line)
+    values = session.values
+    finite = values[np.abs(values) < 2**62]
+    summary = f"min={finite.min()} max={finite.max()}" if finite.size else "empty"
+    print(f"final vector: size={values.size} {summary}")
     return 0
 
 
@@ -599,6 +677,58 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                 base_sum,
                 fresh_n["vector_checksums"].get(name),
             )
+
+    # -- bench-incremental --------------------------------------------
+    tol_incremental = (
+        args.tolerance_incremental
+        if args.tolerance_incremental is not None
+        else args.tolerance
+    )
+    base_i = (
+        load(args.incremental_baseline)
+        if os.path.exists(args.incremental_baseline)
+        else None
+    )
+    if base_i is None:
+        print(
+            f"bench-check: no incremental baseline at "
+            f"{args.incremental_baseline!r}; skipping the incremental "
+            "benchmark"
+        )
+    else:
+        fresh_i_path = os.path.join(out_dir, "BENCH_incremental.fresh.json")
+        rc = _cmd_bench_incremental(
+            argparse.Namespace(
+                scale=base_i["graph"]["scale"],
+                edge_factor=base_i["graph"]["edge_factor"],
+                seed=base_i["graph"]["seed"],
+                delta=base_i["delta"],
+                algorithm=base_i["algorithm"],
+                strategy=base_i["strategy"],
+                batches=base_i["num_batches"],
+                batch_size=base_i["batch_size"],
+                repeats=args.repeats or base_i["repeats"],
+                min_speedup=None,
+                output=fresh_i_path,
+            )
+        )
+        if rc != 0:
+            print("bench-check: fresh bench-incremental run failed")
+            return rc
+        fresh_i = load(fresh_i_path)
+        check_perf(
+            "incremental",
+            "speedup_vs_full",
+            base_i["speedup"],
+            fresh_i["speedup"],
+            tol_incremental,
+        )
+        for metric in (
+            "incremental_seeds",
+            "incremental_invalidated",
+            "incremental_vertices_touched",
+        ):
+            check_exact("incremental", metric, base_i[metric], fresh_i[metric])
 
     from .eval.harness import format_table
 
@@ -1058,6 +1188,151 @@ def _cmd_bench_native(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_incremental(args: argparse.Namespace) -> int:
+    """Benchmark incremental resume against full recomputation.
+
+    Converges once, then applies deterministic small mutation batches.
+    After every batch the resumed vector is compared bit-for-bit against a
+    from-scratch run on the mutated graph (the benchmark aborts on any
+    mismatch), and both paths are timed: the incremental apply once (its
+    state is consumed), the full re-run as a min over ``--repeats`` — the
+    stable-timing bias favours the *full* path, so the reported speedup is
+    conservative.
+    """
+    import json
+    import time
+
+    from .graph.mutations import Mutation
+    from .incremental import IncrementalSession
+
+    if args.algorithm == "kcore":
+        if args.strategy not in ("lazy_constant_sum", "lazy", "eager_no_fusion"):
+            raise GraphItError(
+                "k-core supports lazy_constant_sum, lazy, or eager_no_fusion"
+            )
+        graph = rmat(args.scale, args.edge_factor, seed=args.seed).symmetrized()
+        schedule = Schedule(priority_update=args.strategy, delta=1)
+        source = 0
+    else:
+        if args.strategy == "lazy_constant_sum":
+            raise GraphItError(
+                f"{args.algorithm} is a min/max program; lazy_constant_sum "
+                f"only applies to constant-sum updates"
+            )
+        graph = rmat(args.scale, args.edge_factor, seed=args.seed, weights=(1, 8))
+        schedule = Schedule(priority_update=args.strategy, delta=args.delta)
+        source = int(np.argmax(graph.out_degrees()))
+
+    rng = np.random.default_rng(args.seed)
+    n = graph.num_vertices
+
+    def make_batch():
+        """One deterministic batch: distinct (src, dst) pairs per kind."""
+        srcs, dsts, _ = graph.edge_list()
+        chosen = rng.choice(srcs.size, size=min(args.batch_size, srcs.size), replace=False)
+        batch: list[Mutation] = []
+        seen: set[tuple[int, int]] = set()
+        for i in chosen:
+            src, dst = int(srcs[i]), int(dsts[i])
+            if (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            roll = rng.random()
+            if roll < 0.4:
+                batch.append(
+                    Mutation.add(
+                        int(rng.integers(n)),
+                        int(rng.integers(n)),
+                        int(rng.integers(1, 9)),
+                    )
+                )
+            elif roll < 0.7 or args.algorithm == "kcore":
+                batch.append(Mutation.remove(src, dst))
+            else:
+                batch.append(Mutation.update(src, dst, int(rng.integers(1, 9))))
+        return batch
+
+    session = IncrementalSession(graph, args.algorithm, source=source, schedule=schedule)
+    session.run()
+
+    incremental_seconds = 0.0
+    full_seconds = 0.0
+    seeds_total = 0
+    invalidated_total = 0
+    touched_total = 0
+    for index in range(args.batches):
+        batch = make_batch()
+        started = time.perf_counter()
+        result = session.apply(batch)
+        incremental_seconds += time.perf_counter() - started
+        seeds_total += result.seeds
+        invalidated_total += result.invalidated
+        touched_total += result.vertices_touched
+
+        # Full-recompute oracle on the mutated graph: correctness gate and
+        # the baseline timing in one.
+        times = []
+        oracle_values = None
+        for _ in range(args.repeats):
+            fresh = IncrementalSession(
+                session.graph, args.algorithm, source=source, schedule=schedule
+            )
+            started = time.perf_counter()
+            oracle_values = fresh.run().values
+            times.append(time.perf_counter() - started)
+        full_seconds += min(times)
+        if not np.array_equal(result.values, oracle_values):
+            print(
+                f"bench-incremental: batch {index} diverged from the "
+                f"full-recompute oracle; aborting"
+            )
+            return 1
+
+    speedup = full_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    record = {
+        "benchmark": (
+            f"incremental resume vs full recompute "
+            f"({args.algorithm}, {args.strategy})"
+        ),
+        "graph": {
+            "kind": "rmat",
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "seed": args.seed,
+            "num_vertices": int(n),
+            "num_edges": int(graph.num_edges),
+        },
+        "algorithm": args.algorithm,
+        "strategy": args.strategy,
+        "delta": schedule.delta,
+        "num_batches": args.batches,
+        "batch_size": args.batch_size,
+        "repeats": args.repeats,
+        "full_seconds": full_seconds,
+        "incremental_seconds": incremental_seconds,
+        "speedup": speedup,
+        "bit_exact": True,
+        "incremental_seeds": seeds_total,
+        "incremental_invalidated": invalidated_total,
+        "incremental_vertices_touched": touched_total,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{args.batches} batches x {args.batch_size} mutations: "
+        f"full {full_seconds:.4f}s, incremental {incremental_seconds:.4f}s, "
+        f"speedup {speedup:.1f}x -> {args.output}"
+    )
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"bench-incremental: speedup {speedup:.1f}x is below the "
+            f"required {args.min_speedup:.1f}x"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1092,6 +1367,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="validate every apply operator against the static effect "
         "summary at runtime (fails loudly on any unreported access)",
+    )
+    run_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="after the converged run, apply the --mutations script batch "
+        "by batch and resume the ordered engine from a seeded frontier "
+        "instead of recomputing (requires an I001-eligible program)",
+    )
+    run_parser.add_argument(
+        "--mutations",
+        default=None,
+        help="mutation script: lines of 'add SRC DST [W]' / 'remove SRC "
+        "DST' / 'update SRC DST W', with 'flush' separating batches",
+    )
+    run_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-batch bit-exact comparison against a "
+        "from-scratch run on the mutated graph",
     )
     run_parser.set_defaults(handler=_cmd_run)
 
@@ -1269,6 +1563,47 @@ def build_parser() -> argparse.ArgumentParser:
     native_parser.add_argument("-o", "--output", default="BENCH_native.json")
     native_parser.set_defaults(handler=_cmd_bench_native)
 
+    incr_parser = commands.add_parser(
+        "bench-incremental",
+        help="benchmark incremental resume against full recomputation on "
+        "small mutation batches and write BENCH_incremental.json",
+    )
+    incr_parser.add_argument("--scale", type=int, default=13)
+    incr_parser.add_argument("--edge-factor", type=int, default=16)
+    incr_parser.add_argument("--seed", type=int, default=0)
+    incr_parser.add_argument("--delta", type=int, default=3)
+    incr_parser.add_argument(
+        "--algorithm",
+        default="sssp",
+        choices=("sssp", "widest_path", "kcore"),
+    )
+    incr_parser.add_argument(
+        "--strategy",
+        default="lazy",
+        choices=("eager_with_fusion", "eager_no_fusion", "lazy", "lazy_constant_sum"),
+    )
+    incr_parser.add_argument(
+        "--batches", type=int, default=5, help="number of mutation batches"
+    )
+    incr_parser.add_argument(
+        "--batch-size", type=int, default=8, help="mutations per batch"
+    )
+    incr_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="full-recompute timing repeats (min is used)",
+    )
+    incr_parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit nonzero when incremental resume is below this speedup "
+        "over full recomputation",
+    )
+    incr_parser.add_argument("-o", "--output", default="BENCH_incremental.json")
+    incr_parser.set_defaults(handler=_cmd_bench_incremental)
+
     trace_parser = commands.add_parser(
         "trace",
         help="run a program under the tracer and write Chrome-trace JSON "
@@ -1363,6 +1698,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override --tolerance for the native benchmark",
+    )
+    check_parser.add_argument(
+        "--incremental-baseline",
+        default="BENCH_incremental.json",
+        help="baseline record for bench-incremental",
+    )
+    check_parser.add_argument(
+        "--tolerance-incremental",
+        type=float,
+        default=None,
+        help="override --tolerance for the incremental benchmark",
     )
     check_parser.add_argument(
         "--repeats",

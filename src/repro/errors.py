@@ -88,6 +88,23 @@ class MonotonicityError(SchedulingError):
         self.span = span
 
 
+class IncrementalityError(SchedulingError):
+    """Raised when a schedule requests incremental resume for a program
+    whose ordered loop is not an extremal min/max fixpoint (diagnostic
+    ``I001``).
+
+    Resuming a converged run is only sound when the converged vector is
+    the unique fixpoint of a monotone min/max combine; sum-update loops
+    (k-core) and extern bucket processors are rejected here at plan time.
+    """
+
+    def __init__(self, message: str, *, span: "Span | None" = None):
+        # Mirrors MonotonicityError: the span feeds the diagnostics engine
+        # without being baked into the rendered message.
+        super().__init__(message)
+        self.span = span
+
+
 class CompileError(GraphItError):
     """Raised when the midend or a backend cannot lower a program."""
 

@@ -22,12 +22,16 @@ from .io import (
     save_edge_list,
     save_npz,
 )
+from .mutations import Mutation, apply_mutations, parse_mutation_script
 from .properties import INT_MAX, VertexVector
 from .vertexset import VertexSet
 
 __all__ = [
     "CSRGraph",
     "GraphBuilder",
+    "Mutation",
+    "apply_mutations",
+    "parse_mutation_script",
     "from_edges",
     "rmat",
     "road_grid",

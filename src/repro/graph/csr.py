@@ -5,6 +5,19 @@ stores the out-adjacency in three numpy arrays (``indptr``, ``indices``,
 ``weights``) and lazily materializes the in-adjacency (needed for pull-style
 traversals) on first use.  Vertices are dense integers ``0 .. n-1``; weights
 are 64-bit integers, matching the paper's use of integer edge weights.
+
+Loaded graphs are mutable through a small delta overlay: ``add_edge``,
+``remove_edge`` and ``update_weight`` (single or batched) record pending
+inserts per source and a removal mask over base edge slots instead of
+rebuilding the arrays per call.  The overlay compacts back into contiguous
+CSR lazily — on the first whole-array read after a mutation batch, or
+eagerly once the overlay crosses a size threshold — so a batch of k
+mutations costs one rebuild, not k.  Point readers (``out_neighbors``,
+``out_edges``, ``out_degree``, ``num_edges``) answer through the overlay
+without forcing compaction.  Every mutation bumps ``mutation_version`` and
+drops the memoized in-CSR and degree arrays, so no consumer can observe a
+stale cache.  The vertex set is fixed: mutations may only reference
+existing vertex ids.
 """
 
 from __future__ import annotations
@@ -15,11 +28,16 @@ import numpy as np
 
 from ..errors import GraphError
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "COMPACTION_THRESHOLD"]
+
+
+# Pending overlay edges tolerated before compaction happens eagerly at
+# mutation time (instead of lazily on the next whole-array read).
+COMPACTION_THRESHOLD = 4096
 
 
 class CSRGraph:
-    """An immutable directed graph in compressed sparse row form.
+    """A directed graph in compressed sparse row form with a mutation overlay.
 
     Parameters
     ----------
@@ -77,9 +95,26 @@ class CSRGraph:
         self._coordinates = coordinates
         self._in_csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         # Degree arrays are memoized (and frozen): the apply operators ask
-        # for them every round, and the graph is immutable.
+        # for them every round.  Mutations invalidate them.
         self._out_degrees: np.ndarray | None = None
         self._in_degrees: np.ndarray | None = None
+        # Mutation overlay: pending inserts per source, a removal mask over
+        # base edge slots, and copy-on-first-write ownership of weights.
+        self._pending: dict[int, list[tuple[int, int]]] = {}
+        self._pending_count = 0
+        self._removed: np.ndarray | None = None
+        self._removed_count = 0
+        self._weights_owned = False
+        self._mutation_version = 0
+        # Live count of negative-weight edges, maintained through every
+        # mutation so the executors' non-negativity guard costs O(1)
+        # instead of an O(E) scan (which would also force compaction).
+        self._negative_count = int(np.count_nonzero(weights < 0))
+        # Base in-adjacency (indptr, sources, base-slot order), kept valid
+        # across overlay mutations: queries filter through the removal
+        # mask and append pending inserts.  Only compaction (which
+        # replaces the base arrays) invalidates it.
+        self._in_base: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -91,22 +126,40 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        """Number of directed edges."""
-        return self._indices.size
+        """Number of directed edges (overlay-aware, no compaction)."""
+        return self._indices.size - self._removed_count + self._pending_count
+
+    @property
+    def mutation_version(self) -> int:
+        """Counter bumped by every mutation (cache-key for derived state)."""
+        return self._mutation_version
+
+    @property
+    def has_pending_mutations(self) -> bool:
+        """True when the overlay holds uncompacted inserts or removals."""
+        return bool(self._pending) or self._removed is not None
+
+    @property
+    def has_negative_weights(self) -> bool:
+        """Whether any live edge has a negative weight (O(1), no scan)."""
+        return self._negative_count > 0
 
     @property
     def indptr(self) -> np.ndarray:
-        """Out-adjacency offsets (read-only view)."""
+        """Out-adjacency offsets (compacts any pending overlay first)."""
+        self._compact()
         return self._indptr
 
     @property
     def indices(self) -> np.ndarray:
-        """Out-edge destinations (read-only view)."""
+        """Out-edge destinations (compacts any pending overlay first)."""
+        self._compact()
         return self._indices
 
     @property
     def weights(self) -> np.ndarray:
-        """Out-edge weights (read-only view)."""
+        """Out-edge weights (compacts any pending overlay first)."""
+        self._compact()
         return self._weights
 
     @property
@@ -125,14 +178,34 @@ class CSRGraph:
     # Degree queries
     # ------------------------------------------------------------------
     def out_degree(self, v: int) -> int:
-        """Out-degree of vertex ``v``."""
+        """Out-degree of vertex ``v`` (overlay-aware, no compaction)."""
         self._check_vertex(v)
-        return int(self._indptr[v + 1] - self._indptr[v])
+        degree = int(self._indptr[v + 1] - self._indptr[v])
+        if self._removed is not None:
+            degree -= int(
+                np.count_nonzero(self._removed[self._indptr[v] : self._indptr[v + 1]])
+            )
+        if self._pending:
+            degree += len(self._pending.get(v, ()))
+        return degree
 
     def out_degrees(self) -> np.ndarray:
-        """Array of all out-degrees (memoized, read-only)."""
+        """Array of all out-degrees (memoized, read-only).
+
+        Overlay-aware without compacting: the base degrees are adjusted by
+        the removal mask and pending inserts, so the executors' per-round
+        degree reads never trigger an O(E) rebuild mid-resume.
+        """
         if self._out_degrees is None:
             degrees = np.diff(self._indptr)
+            if self.has_pending_mutations:
+                if self._removed is not None:
+                    removed_src = np.searchsorted(
+                        self._indptr, np.flatnonzero(self._removed), side="right"
+                    ) - 1
+                    np.subtract.at(degrees, removed_src, 1)
+                for src, edges in self._pending.items():
+                    degrees[src] += len(edges)
             degrees.setflags(write=False)
             self._out_degrees = degrees
         return self._out_degrees
@@ -156,20 +229,46 @@ class CSRGraph:
     # Neighbourhood access
     # ------------------------------------------------------------------
     def out_neighbors(self, v: int) -> np.ndarray:
-        """Destinations of ``v``'s out-edges (read-only slice)."""
+        """Destinations of ``v``'s out-edges (overlay-aware)."""
         self._check_vertex(v)
-        return self._indices[self._indptr[v] : self._indptr[v + 1]]
+        if not self.has_pending_mutations:
+            return self._indices[self._indptr[v] : self._indptr[v + 1]]
+        neighbors, _ = self._overlay_slice(v)
+        return neighbors
 
     def out_weights(self, v: int) -> np.ndarray:
         """Weights of ``v``'s out-edges, aligned with :meth:`out_neighbors`."""
         self._check_vertex(v)
-        return self._weights[self._indptr[v] : self._indptr[v + 1]]
+        if not self.has_pending_mutations:
+            return self._weights[self._indptr[v] : self._indptr[v + 1]]
+        _, weights = self._overlay_slice(v)
+        return weights
 
     def out_edges(self, v: int) -> Iterator[tuple[int, int]]:
         """Iterate ``(destination, weight)`` pairs for ``v``'s out-edges."""
+        neighbors = self.out_neighbors(v)
+        weights = self.out_weights(v)
+        for dst, weight in zip(neighbors, weights):
+            yield int(dst), int(weight)
+
+    def _overlay_slice(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``v``'s out-edges merged with the overlay (base order, adds last)."""
         start, end = self._indptr[v], self._indptr[v + 1]
-        for i in range(start, end):
-            yield int(self._indices[i]), int(self._weights[i])
+        neighbors = self._indices[start:end]
+        weights = self._weights[start:end]
+        if self._removed is not None:
+            keep = ~self._removed[start:end]
+            neighbors = neighbors[keep]
+            weights = weights[keep]
+        added = self._pending.get(v)
+        if added:
+            neighbors = np.concatenate(
+                [neighbors, np.fromiter((d for d, _ in added), np.int64, len(added))]
+            )
+            weights = np.concatenate(
+                [weights, np.fromiter((w for _, w in added), np.int64, len(added))]
+            )
+        return neighbors, weights
 
     def in_neighbors(self, v: int) -> np.ndarray:
         """Sources of ``v``'s in-edges."""
@@ -189,6 +288,7 @@ class CSRGraph:
         Built lazily by a stable counting sort over destinations, so the
         in-neighbors of each vertex appear in order of their source id.
         """
+        self._compact()
         if self._in_csr is None:
             n = self.num_vertices
             counts = np.bincount(self._indices, minlength=n).astype(np.int64)
@@ -200,10 +300,304 @@ class CSRGraph:
         return self._in_csr
 
     # ------------------------------------------------------------------
+    # Overlay-aware bulk access (no compaction)
+    # ------------------------------------------------------------------
+    def base_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The base CSR arrays *without* folding the overlay.
+
+        The returned arrays may still contain edges flagged in
+        :meth:`removed_mask` and never contain pending inserts — pair with
+        :meth:`removed_mask` and :meth:`pending_out_edges` for an exact
+        overlay-aware view.  Mutations never write ``indptr``/``indices``
+        in place (a compaction replaces them wholesale), so the references
+        double as stable snapshots; only ``update_weight`` writes through
+        the weights array.
+        """
+        return self._indptr, self._indices, self._weights
+
+    def removed_mask(self) -> np.ndarray | None:
+        """Boolean mask over base edge slots, or ``None`` when no removals."""
+        return self._removed
+
+    def pending_snapshot(self) -> dict[int, list[tuple[int, int]]]:
+        """A copy of the pending-insert overlay (``src -> [(dst, w), ...]``)."""
+        return {src: list(edges) for src, edges in self._pending.items()}
+
+    def pending_out_edges(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pending (uncompacted) inserts whose source is in ``vertices``.
+
+        Returned in overlay order (dict insertion order, per-source append
+        order), independent of the order of ``vertices`` — so filtering a
+        superset's stream by source equals querying the subset directly.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if not self._pending:
+            return empty, empty.copy(), empty.copy()
+        members = np.zeros(self.num_vertices, dtype=bool)
+        members[np.asarray(vertices, dtype=np.int64)] = True
+        sources: list[int] = []
+        dests: list[int] = []
+        weights: list[int] = []
+        for src, edges in self._pending.items():
+            if members[src]:
+                for dst, weight in edges:
+                    sources.append(src)
+                    dests.append(dst)
+                    weights.append(weight)
+        if not sources:
+            return empty, empty.copy(), empty.copy()
+        return (
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(dests, dtype=np.int64),
+            np.asarray(weights, dtype=np.int64),
+        )
+
+    def ensure_in_base(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Build (or fetch) the base in-adjacency index.
+
+        Returns ``(in_indptr, in_sources, in_order)`` over the *base*
+        arrays: ``in_order[j]`` is the base out-slot of the j-th in-edge,
+        so queries can filter removals and read current weights through
+        it.  Stays valid across overlay mutations; compaction rebuilds it
+        on next use.  Incremental sessions call this once up front so no
+        per-batch resume pays the O(E log E) construction.
+        """
+        if self._in_base is None:
+            n = self.num_vertices
+            counts = np.bincount(self._indices, minlength=n).astype(np.int64)
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(counts, out=indptr[1:])
+            order = np.argsort(self._indices, kind="stable")
+            sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+            self._in_base = (indptr, sources[order], order)
+        return self._in_base
+
+    def in_edges_of(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``v``'s live in-edges as ``(tails, weights)`` (overlay-aware).
+
+        Uses the retained base in-adjacency plus the overlay, so the cost
+        is O(in-degree + pending overlay), never a full in-CSR rebuild.
+        """
+        self._check_vertex(v)
+        indptr, sources, order = self.ensure_in_base()
+        slots = order[indptr[v] : indptr[v + 1]]
+        tails = sources[indptr[v] : indptr[v + 1]]
+        if self._removed is not None:
+            keep = ~self._removed[slots]
+            slots = slots[keep]
+            tails = tails[keep]
+        weights = self._weights[slots]
+        if self._pending:
+            extra_tails = [
+                src
+                for src, edges in self._pending.items()
+                for dst, _ in edges
+                if dst == v
+            ]
+            if extra_tails:
+                extra_weights = [
+                    w
+                    for src, edges in self._pending.items()
+                    for dst, w in edges
+                    if dst == v
+                ]
+                tails = np.concatenate(
+                    [tails, np.asarray(extra_tails, dtype=np.int64)]
+                )
+                weights = np.concatenate(
+                    [weights, np.asarray(extra_weights, dtype=np.int64)]
+                )
+        return tails, weights
+
+    # ------------------------------------------------------------------
+    # Mutation API (delta overlay + periodic compaction)
+    # ------------------------------------------------------------------
+    def add_edge(self, src: int, dst: int, weight: int = 1) -> None:
+        """Insert a directed edge ``src -> dst``.
+
+        Parallel copies are allowed (the graph is a multigraph under
+        mutation, exactly as :class:`GraphBuilder` permits duplicates).
+        The insert lands in the overlay; compaction is deferred until a
+        whole-array read or the overlay crosses
+        :data:`COMPACTION_THRESHOLD`.
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        self._pending.setdefault(src, []).append((int(dst), int(weight)))
+        self._pending_count += 1
+        if weight < 0:
+            self._negative_count += 1
+        self._note_mutation()
+        if self._pending_count > COMPACTION_THRESHOLD:
+            self._compact()
+
+    def remove_edge(self, src: int, dst: int) -> None:
+        """Remove every copy of the directed edge ``src -> dst``.
+
+        Raises :class:`GraphError` when no such edge exists (removals must
+        name live edges — silent no-ops would mask caller bugs).
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        removed = 0
+        start, end = int(self._indptr[src]), int(self._indptr[src + 1])
+        slots = start + np.flatnonzero(self._indices[start:end] == dst)
+        if self._removed is not None and slots.size:
+            slots = slots[~self._removed[slots]]
+        if slots.size:
+            if self._removed is None:
+                self._removed = np.zeros(self._indices.size, dtype=bool)
+            self._removed[slots] = True
+            self._removed_count += slots.size
+            removed += int(slots.size)
+            self._negative_count -= int(np.count_nonzero(self._weights[slots] < 0))
+        added = self._pending.get(src)
+        if added:
+            kept = [(d, w) for d, w in added if d != dst]
+            removed += len(added) - len(kept)
+            self._pending_count -= len(added) - len(kept)
+            self._negative_count -= sum(
+                1 for d, w in added if d == dst and w < 0
+            )
+            if kept:
+                self._pending[src] = kept
+            else:
+                del self._pending[src]
+        if not removed:
+            raise GraphError(f"no edge {src} -> {dst} to remove")
+        self._note_mutation()
+
+    def update_weight(self, src: int, dst: int, weight: int) -> None:
+        """Set the weight of every copy of the edge ``src -> dst``.
+
+        Raises :class:`GraphError` when no such edge exists.
+        """
+        self._check_vertex(src)
+        self._check_vertex(dst)
+        updated = 0
+        start, end = int(self._indptr[src]), int(self._indptr[src + 1])
+        slots = start + np.flatnonzero(self._indices[start:end] == dst)
+        if self._removed is not None and slots.size:
+            slots = slots[~self._removed[slots]]
+        if slots.size:
+            self._ensure_owned_weights()
+            self._negative_count -= int(np.count_nonzero(self._weights[slots] < 0))
+            self._weights[slots] = int(weight)
+            if weight < 0:
+                self._negative_count += int(slots.size)
+            updated += int(slots.size)
+        added = self._pending.get(src)
+        if added:
+            for i, (d, w) in enumerate(added):
+                if d == dst:
+                    added[i] = (d, int(weight))
+                    self._negative_count += (weight < 0) - (w < 0)
+                    updated += 1
+        if not updated:
+            raise GraphError(f"no edge {src} -> {dst} to update")
+        self._note_mutation()
+
+    def add_edges(
+        self, sources: np.ndarray, dests: np.ndarray, weights: np.ndarray | None = None
+    ) -> None:
+        """Batched :meth:`add_edge` (one compaction for the whole batch)."""
+        sources = np.asarray(sources, dtype=np.int64)
+        dests = np.asarray(dests, dtype=np.int64)
+        if weights is None:
+            weights = np.ones(sources.size, dtype=np.int64)
+        else:
+            weights = np.asarray(weights, dtype=np.int64)
+        if sources.shape != dests.shape or sources.shape != weights.shape:
+            raise GraphError("add_edges arrays must align")
+        for src, dst, weight in zip(sources, dests, weights):
+            self.add_edge(int(src), int(dst), int(weight))
+
+    def remove_edges(self, sources: np.ndarray, dests: np.ndarray) -> None:
+        """Batched :meth:`remove_edge`."""
+        for src, dst in zip(np.asarray(sources), np.asarray(dests)):
+            self.remove_edge(int(src), int(dst))
+
+    def update_weights(
+        self, sources: np.ndarray, dests: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Batched :meth:`update_weight`."""
+        for src, dst, weight in zip(
+            np.asarray(sources), np.asarray(dests), np.asarray(weights)
+        ):
+            self.update_weight(int(src), int(dst), int(weight))
+
+    def _note_mutation(self) -> None:
+        """Bump the version and drop every memoized derived structure."""
+        self._mutation_version += 1
+        self._in_csr = None
+        self._out_degrees = None
+        self._in_degrees = None
+
+    def _ensure_owned_weights(self) -> None:
+        # Copy-on-first-write: views handed out before the first mutation
+        # keep observing the pre-mutation weights.
+        if not self._weights_owned:
+            self._weights = self._weights.copy()
+            self._weights_owned = True
+
+    def _compact(self) -> None:
+        """Fold the overlay back into contiguous CSR arrays.
+
+        The merge keeps base-slot order first and overlay inserts last
+        within each source (stable sort over the source column), so edge
+        iteration order stays deterministic across compactions.
+        """
+        if not self.has_pending_mutations:
+            return
+        n = self.num_vertices
+        sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(self._indptr))
+        indices, weights = self._indices, self._weights
+        if self._removed is not None:
+            keep = ~self._removed
+            sources, indices, weights = sources[keep], indices[keep], weights[keep]
+        if self._pending:
+            add_src = np.fromiter(
+                (s for s, edges in self._pending.items() for _ in edges),
+                np.int64,
+                self._pending_count,
+            )
+            add_dst = np.fromiter(
+                (d for edges in self._pending.values() for d, _ in edges),
+                np.int64,
+                self._pending_count,
+            )
+            add_w = np.fromiter(
+                (w for edges in self._pending.values() for _, w in edges),
+                np.int64,
+                self._pending_count,
+            )
+            sources = np.concatenate([sources, add_src])
+            indices = np.concatenate([indices, add_dst])
+            weights = np.concatenate([weights, add_w])
+        order = np.argsort(sources, kind="stable")
+        counts = np.bincount(sources, minlength=n).astype(np.int64)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._indptr = indptr
+        self._indices = np.ascontiguousarray(indices[order])
+        self._weights = np.ascontiguousarray(weights[order])
+        self._weights_owned = True
+        self._pending = {}
+        self._pending_count = 0
+        self._removed = None
+        self._removed_count = 0
+        # The base arrays just changed wholesale: the retained in-base
+        # index maps stale slots and must be rebuilt on next use.
+        self._in_base = None
+
+    # ------------------------------------------------------------------
     # Whole-graph transforms
     # ------------------------------------------------------------------
     def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """All edges as ``(sources, destinations, weights)`` arrays."""
+        self._compact()
         sources = np.repeat(
             np.arange(self.num_vertices, dtype=np.int64), np.diff(self._indptr)
         )
@@ -241,6 +635,7 @@ class CSRGraph:
 
     def with_weights(self, weights: np.ndarray) -> "CSRGraph":
         """A copy of this graph with the given per-edge weights."""
+        self._compact()
         return CSRGraph(
             self._indptr.copy(),
             self._indices.copy(),
@@ -250,6 +645,7 @@ class CSRGraph:
 
     def with_coordinates(self, coordinates: np.ndarray) -> "CSRGraph":
         """A copy of this graph with the given vertex coordinates."""
+        self._compact()
         return CSRGraph(
             self._indptr.copy(),
             self._indices.copy(),

@@ -1,0 +1,21 @@
+"""Incremental recomputation: resume ordered algorithms after mutations.
+
+After a converged run, a mutation batch is classified into *improving*
+changes (seed the queue from the affected endpoints at their current
+priorities) and *worsening* changes (invalidate the affected dependence
+cone and re-relax it from its boundary), so only the affected priority
+region is recomputed.  The sequential full re-run is the bit-exact oracle
+for every output vector.
+"""
+
+from .engine import (
+    INCREMENTAL_ALGORITHMS,
+    IncrementalResult,
+    IncrementalSession,
+)
+
+__all__ = [
+    "INCREMENTAL_ALGORITHMS",
+    "IncrementalResult",
+    "IncrementalSession",
+]

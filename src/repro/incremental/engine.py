@@ -1,0 +1,415 @@
+"""The incremental engine: mutation classification, cone invalidation,
+frontier seeding, and ordered-engine resume.
+
+The approach follows *Fast Iterative Graph Computing with Updated Neighbor
+States* (arXiv 2407.14544) adapted to the paper's ordered abstraction: the
+converged priority vector of a min/max program is a fixpoint of its edge
+relaxation, so after a mutation batch only vertices whose values may have
+worsened need re-deriving, and re-relaxation only needs to start from
+vertices whose out-edges may be *tense* (improvable).
+
+Per batch, for a min program (max is mirrored):
+
+1. **Classify** each mutation against the converged values.  Edge inserts
+   and weight moves *toward* the optimum are improving — they can only
+   tighten values downstream, so seeding the mutated edge's source at its
+   current priority is sufficient.  Deletes and weight moves *away* are
+   worsening, but only when the old edge was **tight**
+   (``vals[src] + w_old == vals[dst]``): a slack edge supported nothing.
+2. **Invalidate** the dependence cone of every worsened tight head: the
+   transitive tight-edge descendants on the pre-mutation graph.  This
+   over-approximates the truly affected set on purpose — mutual-support
+   cycles (e.g. zero-weight cycles) make exact support counting unsound,
+   while over-invalidation merely recomputes a few extra vertices.  The
+   source (whose value is pinned, not edge-derived) is never invalidated.
+3. **Recompute** each cone member from its boundary: best over in-edges of
+   the *new* graph whose tail is outside the cone, identity otherwise.
+   Values inside the cone recover through relaxation, not recompute.
+4. **Resume** the scheduled ordered engine (lazy / eager / relaxed — the
+   same executors as a from-scratch run) with the queue seeded at current
+   priorities from the non-identity cone members plus the improving
+   endpoints.  Monotone convergence to the unique fixpoint makes the
+   result bit-exact against a full re-run.
+
+k-core is degree-based rather than path-based and uses the capped h-index
+local fixpoint in :mod:`repro.incremental.kcore` instead of steps 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.common import (
+    UNREACHABLE,
+    resume_delta_stepping,
+)
+from ..algorithms.widest_path import (
+    DEFAULT_WIDEST_SCHEDULE,
+    SOURCE_WIDTH,
+    resume_widest_path,
+)
+from ..buckets.interface import NULL_PRIORITY_HIGHER
+from ..errors import GraphError, SchedulingError
+from ..graph.csr import CSRGraph
+from ..graph.mutations import Mutation
+from ..midend.schedule import Schedule
+from ..obs import span
+from ..runtime.stats import RuntimeStats
+
+__all__ = ["INCREMENTAL_ALGORITHMS", "IncrementalResult", "IncrementalSession"]
+
+INCREMENTAL_ALGORITHMS = ("sssp", "wbfs", "widest_path", "kcore")
+
+_MIN_KIND = "min"
+_MAX_KIND = "max"
+
+
+@dataclass
+class IncrementalResult:
+    """One converged state: output vector plus the resume profile."""
+
+    values: np.ndarray
+    stats: RuntimeStats
+    incremental: bool
+    seeds: int = 0
+    invalidated: int = 0
+    vertices_touched: int = 0
+
+
+class IncrementalSession:
+    """A converged run over a mutable graph, resumable after mutations.
+
+    Parameters
+    ----------
+    graph:
+        The mutable CSR graph.  The session applies mutation batches to it
+        (symmetrically for k-core) and owns the converged value vector.
+    algorithm:
+        One of :data:`INCREMENTAL_ALGORITHMS`.
+    source:
+        Source vertex for the path algorithms (ignored by k-core).
+    schedule:
+        Bucketing schedule; the resume uses the same strategy (lazy /
+        eager / relaxed via ``relaxed_ordering``) as the initial run.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        algorithm: str,
+        source: int = 0,
+        schedule: Schedule | None = None,
+        relaxed_ordering: bool = False,
+    ):
+        if algorithm not in INCREMENTAL_ALGORITHMS:
+            raise GraphError(
+                f"unknown incremental algorithm {algorithm!r}; expected one "
+                f"of {INCREMENTAL_ALGORITHMS}"
+            )
+        self.graph = graph
+        self.algorithm = algorithm
+        self.source = int(source)
+        self.relaxed_ordering = bool(relaxed_ordering)
+        if schedule is None:
+            if algorithm == "kcore":
+                from ..algorithms.kcore import DEFAULT_KCORE_SCHEDULE
+
+                schedule = DEFAULT_KCORE_SCHEDULE
+            elif algorithm == "widest_path":
+                schedule = DEFAULT_WIDEST_SCHEDULE
+            else:
+                from ..algorithms.sssp import DEFAULT_SSSP_SCHEDULE
+                from ..algorithms.wbfs import DEFAULT_WBFS_SCHEDULE
+
+                schedule = (
+                    DEFAULT_WBFS_SCHEDULE if algorithm == "wbfs" else DEFAULT_SSSP_SCHEDULE
+                )
+        if algorithm == "wbfs" and schedule.delta != 1:
+            raise SchedulingError("wBFS fixes delta to 1 (it is its defining property)")
+        if schedule.execution == "native":
+            raise SchedulingError(
+                "incremental resume seeds the interpreted engine's queues; "
+                "native execution cannot resume (use execution='serial' or "
+                "'parallel')"
+            )
+        self.schedule = schedule
+        if algorithm == "kcore":
+            self._kind = None
+        elif algorithm == "widest_path":
+            self._kind = _MAX_KIND
+        else:
+            self._kind = _MIN_KIND
+        # Internal (un-normalized) converged value vector; ``None`` until
+        # the first run().
+        self._values: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Value semantics per kind
+    # ------------------------------------------------------------------
+    @property
+    def _identity(self) -> int:
+        return int(UNREACHABLE) if self._kind == _MIN_KIND else int(NULL_PRIORITY_HIGHER)
+
+    def _edge_value(self, source_value: int, weight: int) -> int:
+        """The value an edge offers its head given its tail's value."""
+        if self._kind == _MIN_KIND:
+            return source_value + weight
+        return min(source_value, weight)
+
+    def _is_improving(self, new_weight: int, old_effective: int) -> bool:
+        """Does moving the edge weight to ``new_weight`` only help heads?"""
+        if self._kind == _MIN_KIND:
+            return new_weight <= old_effective
+        return new_weight >= old_effective
+
+    def _effective_weight(self, src: int, dst: int) -> int | None:
+        """The best weight over all live parallel copies of ``src -> dst``."""
+        neighbors = self.graph.out_neighbors(src)
+        weights = self.graph.out_weights(src)
+        copies = weights[neighbors == dst]
+        if copies.size == 0:
+            return None
+        return int(copies.min() if self._kind == _MIN_KIND else copies.max())
+
+    def _is_tight(self, src: int, dst: int, vals: np.ndarray) -> bool:
+        """Could any live copy of ``src -> dst`` be supporting ``dst``?"""
+        if dst == self.source:
+            return False  # the source's value is pinned, not edge-derived
+        src_value = int(vals[src])
+        dst_value = int(vals[dst])
+        if src_value == self._identity or dst_value == self._identity:
+            return False
+        neighbors = self.graph.out_neighbors(src)
+        weights = self.graph.out_weights(src)
+        for weight in weights[neighbors == dst]:
+            if self._edge_value(src_value, int(weight)) == dst_value:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    @property
+    def values(self) -> np.ndarray:
+        """The published (normalized) converged output vector."""
+        if self._values is None:
+            raise GraphError("session has no converged state yet; call run()")
+        return self._publish(self._values)
+
+    def _publish(self, values: np.ndarray) -> np.ndarray:
+        out = values.copy()
+        if self._kind == _MAX_KIND:
+            out[out == NULL_PRIORITY_HIGHER] = 0
+        return out
+
+    def run(self) -> IncrementalResult:
+        """The from-scratch converged run establishing the resume state."""
+        if self.algorithm == "kcore":
+            from .kcore import initial_coreness
+
+            values, stats = initial_coreness(self.graph, self.schedule)
+            self._values = values
+            return IncrementalResult(values=values.copy(), stats=stats, incremental=False)
+        n = self.graph.num_vertices
+        # The resume state includes the reverse adjacency: build it once
+        # here so no later apply() pays the O(E log E) construction.
+        self.graph.ensure_in_base()
+        values = np.full(n, self._identity, dtype=np.int64)
+        if self._kind == _MIN_KIND:
+            values[self.source] = 0
+            result = resume_delta_stepping(
+                self.graph,
+                self.source,
+                self.schedule,
+                values,
+                np.asarray([self.source], dtype=np.int64),
+                relaxed_ordering=self.relaxed_ordering,
+            )
+        else:
+            values[self.source] = SOURCE_WIDTH
+            result = resume_widest_path(
+                self.graph, self.source, self.schedule, values,
+                np.asarray([self.source], dtype=np.int64),
+            )
+        self._values = values
+        return IncrementalResult(
+            values=self._publish(values), stats=result.stats, incremental=False
+        )
+
+    def apply(self, mutations: list[Mutation]) -> IncrementalResult:
+        """Apply a mutation batch and resume from a seeded frontier."""
+        if self._values is None:
+            raise GraphError("call run() before applying mutations")
+        if self.algorithm == "kcore":
+            return self._apply_kcore(mutations)
+        return self._apply_extremal(mutations)
+
+    # ------------------------------------------------------------------
+    # Min/max resume
+    # ------------------------------------------------------------------
+    def _apply_extremal(self, mutations: list[Mutation]) -> IncrementalResult:
+        graph, vals = self.graph, self._values
+        n = graph.num_vertices
+        identity = self._identity
+        pre_values = vals.copy()
+
+        # Pre-mutation adjacency snapshot: the cone walks *old* tight
+        # edges.  The base arrays are snapshotted by reference (mutations
+        # never write indptr/indices in place; a compaction *replaces*
+        # them, leaving these references intact) plus a copy of the small
+        # overlay state.  Only ``update_weight`` writes through the
+        # weights array, so it alone forces a weights copy.
+        pre_indptr, pre_indices, pre_weights = graph.base_csr()
+        if any(m.kind == "update" for m in mutations):
+            pre_weights = pre_weights.copy()
+        removed = graph.removed_mask()
+        pre_removed = removed.copy() if removed is not None else None
+        pre_pending = graph.pending_snapshot()
+
+        def pre_out_edges(v: int) -> tuple[np.ndarray, np.ndarray]:
+            """``v``'s out-edges in the pre-mutation graph."""
+            start, end = pre_indptr[v], pre_indptr[v + 1]
+            neighbors = pre_indices[start:end]
+            weights = pre_weights[start:end]
+            if pre_removed is not None:
+                keep = ~pre_removed[start:end]
+                neighbors = neighbors[keep]
+                weights = weights[keep]
+            added = pre_pending.get(v)
+            if added:
+                neighbors = np.concatenate(
+                    [neighbors, np.asarray([d for d, _ in added], dtype=np.int64)]
+                )
+                weights = np.concatenate(
+                    [weights, np.asarray([w for _, w in added], dtype=np.int64)]
+                )
+            return neighbors, weights
+
+        # Phase 1: classify each mutation against the converged values,
+        # applying it immediately so later mutations in the batch see the
+        # intermediate graph (e.g. remove of an edge added moments ago).
+        improving_seeds: set[int] = set()
+        worsened_heads: set[int] = set()
+        with span("incremental.classify", "incremental", mutations=len(mutations)):
+            for mutation in mutations:
+                if mutation.kind == "add":
+                    improving_seeds.add(mutation.src)
+                    graph.add_edge(mutation.src, mutation.dst, mutation.weight)
+                elif mutation.kind == "remove":
+                    if self._is_tight(mutation.src, mutation.dst, vals):
+                        worsened_heads.add(mutation.dst)
+                    graph.remove_edge(mutation.src, mutation.dst)
+                else:
+                    old_effective = self._effective_weight(mutation.src, mutation.dst)
+                    if old_effective is None:
+                        raise GraphError(
+                            f"no edge {mutation.src} -> {mutation.dst} to update"
+                        )
+                    if self._is_improving(mutation.weight, old_effective):
+                        improving_seeds.add(mutation.src)
+                    elif self._is_tight(mutation.src, mutation.dst, vals):
+                        worsened_heads.add(mutation.dst)
+                    graph.update_weight(mutation.src, mutation.dst, mutation.weight)
+
+        # Phase 2: the invalidation cone — transitive tight-edge
+        # descendants of every worsened head, on the pre-mutation graph.
+        cone = np.zeros(n, dtype=bool)
+        with span("incremental.invalidate", "incremental") as sp:
+            stack = [
+                head
+                for head in sorted(worsened_heads)
+                if head != self.source and vals[head] != identity
+            ]
+            while stack:
+                v = stack.pop()
+                if cone[v]:
+                    continue
+                cone[v] = True
+                v_value = int(vals[v])
+                pre_neighbors, pre_edge_weights = pre_out_edges(v)
+                for x, w in zip(pre_neighbors, pre_edge_weights):
+                    x = int(x)
+                    if cone[x] or x == self.source or vals[x] == identity:
+                        continue
+                    if self._edge_value(v_value, int(w)) == int(vals[x]):
+                        stack.append(x)
+            cone_vertices = np.flatnonzero(cone)
+            if sp is not None:
+                sp["invalidated"] = int(cone_vertices.size)
+
+        # Phase 3: recompute cone members from the cone boundary over the
+        # *new* graph.  Members only reachable through the cone stay at the
+        # identity and recover through relaxation from the seeds.
+        with span("incremental.recompute", "incremental", cone=int(cone_vertices.size)):
+            vals[cone_vertices] = identity
+            for v in cone_vertices:
+                # Overlay-aware point query against the *new* graph via the
+                # retained base in-adjacency — O(in-degree), never a full
+                # in-CSR rebuild.
+                tails, edge_weights = graph.in_edges_of(int(v))
+                live = ~cone[tails] & (vals[tails] != identity)
+                if not np.any(live):
+                    continue
+                tail_vals = vals[tails[live]]
+                edge_weights = edge_weights[live]
+                if self._kind == _MIN_KIND:
+                    vals[v] = int((tail_vals + edge_weights).min())
+                else:
+                    vals[v] = int(np.minimum(tail_vals, edge_weights).max())
+
+        # Phase 4: seed and resume.  Seeds are the recomputed cone members
+        # plus the improving endpoints — every tense edge's tail is one of
+        # them, so monotone relaxation reaches the unique fixpoint.
+        seeds_mask = np.zeros(n, dtype=bool)
+        seeds_mask[cone_vertices[vals[cone_vertices] != identity]] = True
+        for endpoint in improving_seeds:
+            if vals[endpoint] != identity:
+                seeds_mask[endpoint] = True
+        seeds = np.flatnonzero(seeds_mask)
+
+        stats = RuntimeStats(num_threads=self.schedule.num_threads)
+        with span(
+            "incremental.resume",
+            "incremental",
+            algorithm=self.algorithm,
+            seeds=int(seeds.size),
+        ):
+            if self._kind == _MIN_KIND:
+                result = resume_delta_stepping(
+                    graph,
+                    self.source,
+                    self.schedule,
+                    vals,
+                    seeds,
+                    relaxed_ordering=self.relaxed_ordering,
+                    stats=stats,
+                )
+            else:
+                result = resume_widest_path(
+                    graph, self.source, self.schedule, vals, seeds, stats=stats
+                )
+
+        touched = cone | seeds_mask | (vals != pre_values)
+        stats.incremental_runs += 1
+        stats.incremental_mutations += len(mutations)
+        stats.incremental_seeds += int(seeds.size)
+        stats.incremental_invalidated += int(cone_vertices.size)
+        stats.incremental_vertices_touched += int(np.count_nonzero(touched))
+        return IncrementalResult(
+            values=self._publish(vals),
+            stats=stats,
+            incremental=True,
+            seeds=int(seeds.size),
+            invalidated=int(cone_vertices.size),
+            vertices_touched=int(np.count_nonzero(touched)),
+        )
+
+    # ------------------------------------------------------------------
+    # k-core resume
+    # ------------------------------------------------------------------
+    def _apply_kcore(self, mutations: list[Mutation]) -> IncrementalResult:
+        from .kcore import apply_kcore_batch
+
+        return apply_kcore_batch(self, mutations)

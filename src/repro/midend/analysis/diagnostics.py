@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from ...errors import (
     CompileError,
+    IncrementalityError,
     IRValidationError,
     MonotonicityError,
     ParseError,
@@ -82,6 +83,7 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "R002": "benign race: guarded monotonic test-and-set (note)",
     "R003": "sum update requires clamped fetch_add + deduplication (note)",
     "M001": "relaxed/fused schedule requires a monotone priority update",
+    "I001": "incremental resume requires an extremal (min/max) ordered loop",
     # V1xx: UDF vectorization pass (batch-kernel classification).
     "V101": "apply UDF fell back to the scalar interpreter (not vectorizable)",
     # N1xx: native execution path.
@@ -617,6 +619,15 @@ def lint_program(
         found.append(
             Diagnostic(
                 code="M001",
+                severity=Severity.ERROR,
+                message=str(error),
+                span=_located(getattr(error, "span", None), filename),
+            )
+        )
+    except IncrementalityError as error:
+        found.append(
+            Diagnostic(
+                code="I001",
                 severity=Severity.ERROR,
                 message=str(error),
                 span=_located(getattr(error, "span", None), filename),

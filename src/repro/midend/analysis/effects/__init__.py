@@ -16,6 +16,11 @@ from .analysis import (
     summarize_udf,
 )
 from .fusion import FusionVerdict, check_fusion_safety, fusion_matrix
+from .incremental import (
+    IncrementalEligibility,
+    classify_incremental_eligibility,
+    detect_relaxation_shape,
+)
 from .model import (
     Access,
     AccessKind,
@@ -37,6 +42,7 @@ __all__ = [
     "AccessKind",
     "DefUseChains",
     "FusionVerdict",
+    "IncrementalEligibility",
     "IndexProvenance",
     "Monotonicity",
     "MonotonicityVerdict",
@@ -46,7 +52,9 @@ __all__ = [
     "UDFEffectSummary",
     "analyze_program_effects",
     "check_fusion_safety",
+    "classify_incremental_eligibility",
     "classify_udf_monotonicity",
+    "detect_relaxation_shape",
     "extract_queue_info",
     "fusion_matrix",
     "is_guarded_monotonic",

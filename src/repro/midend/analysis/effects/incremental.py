@@ -1,0 +1,266 @@
+"""Incremental-recomputation eligibility (the ``I001`` gate).
+
+Resuming a converged run after graph mutations is only sound for programs
+whose ordered loop computes an *extremal fixpoint*: every priority update
+must be a min (``lower_first``) or max (``higher_first``) combine, so that
+the converged vector is the unique fixpoint of the relaxation operator and
+a re-seeded queue converges back to it from any sound over-approximation.
+
+Programs that mutate priorities by *differences* — ``updatePrioritySum``,
+the k-core peel — are not resumable this way: their converged vector
+encodes the *history* of the run (how many decrements fired), not a
+fixpoint of a monotone combine, so seeding from it after a mutation is
+meaningless.  The same holds for extern bucket processors (the runtime
+cannot see what they do) and for non-monotone or inadmissible updates
+(PR-5's ``M001`` analysis already proves those unsafe to reorder, and a
+resume is nothing but a reordering of the tail of the run).
+
+:func:`classify_incremental_eligibility` projects a
+:class:`ProgramEffectSummary` onto an :class:`IncrementalEligibility`
+verdict; :func:`detect_relaxation_shape` additionally recognizes the two
+canonical relaxation bodies the interpreted incremental engine implements
+(``vec[src] + weight`` under min, ``min(vec[src], weight)`` under max),
+which the CLI requires before routing a DSL program onto the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ....lang import ast_nodes as ast
+from .model import ProgramEffectSummary
+from .monotonicity import Monotonicity
+
+__all__ = [
+    "IncrementalEligibility",
+    "classify_incremental_eligibility",
+    "detect_relaxation_shape",
+]
+
+
+@dataclass
+class IncrementalEligibility:
+    """Whether a program's ordered loop can be resumed after mutations."""
+
+    eligible: bool
+    #: "min" or "max" when eligible — the extremal combine direction
+    kind: str | None
+    loop_udf: str | None
+    loop_queue: str | None
+    #: every disqualifying fact (empty when eligible)
+    reasons: list[str] = field(default_factory=list)
+    #: canonical relaxation body, when an AST was available to inspect:
+    #: "dist_plus_weight", "min_width_weight", or "unrecognized"
+    relaxation_shape: str | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "eligible": self.eligible,
+            "kind": self.kind,
+            "udf": self.loop_udf,
+            "queue": self.loop_queue,
+            "reasons": list(self.reasons),
+            "relaxation_shape": self.relaxation_shape,
+        }
+
+
+#: update op -> (kind, the queue order that makes the combine extremal)
+_EXTREMAL_OPS = {"min": ("min", "lower_first"), "max": ("max", "higher_first")}
+
+
+def classify_incremental_eligibility(
+    summary: ProgramEffectSummary,
+    udf_decl: ast.FuncDecl | None = None,
+) -> IncrementalEligibility:
+    """One verdict per program: can a converged run be resumed?
+
+    ``udf_decl`` (the ordered loop's UDF, when the caller has the AST)
+    additionally enables the relaxation-shape check the CLI path needs.
+    """
+    reasons: list[str] = []
+    kind: str | None = None
+
+    if not summary.has_ordered_loop:
+        reasons.append(
+            "no recognized ordered loop: there is no converged priority "
+            "vector to resume from"
+        )
+    if summary.uses_extern_processing:
+        reasons.append(
+            "the ordered loop hands buckets to an extern processor; its "
+            "effects are invisible to the resume analysis"
+        )
+
+    # Every priority-update site must be an extremal (min/max) combine in
+    # the queue's own direction.  Sum updates encode run history, not a
+    # fixpoint, and non-monotone/inadmissible sites are unsafe to reorder.
+    for verdict in summary.monotonicity:
+        if verdict.verdict is Monotonicity.NON_MONOTONE:
+            reasons.append(
+                f"{verdict.site}: non-monotone priority update "
+                f"({verdict.reason})"
+            )
+        elif not verdict.admissible:
+            reasons.append(
+                f"{verdict.site}: update direction does not match the "
+                f"queue's processing order ({verdict.reason})"
+            )
+
+    loop_udf = summary.udfs.get(summary.loop_udf or "")
+    if summary.has_ordered_loop and loop_udf is None:
+        reasons.append(
+            f"ordered loop UDF {summary.loop_udf!r} has no effect summary"
+        )
+    if loop_udf is not None:
+        updates = loop_udf.priority_updates
+        if not updates:
+            reasons.append(
+                f"UDF {summary.loop_udf!r} performs no priority update; "
+                f"nothing for a resumed queue to re-drive"
+            )
+        for access in updates:
+            update = access.update
+            if update is None:  # pragma: no cover - updates always carry one
+                continue
+            if update.op not in _EXTREMAL_OPS:
+                reasons.append(
+                    f"{access.rendered}: updatePrioritySum mutates the "
+                    f"priority by a difference; the converged vector "
+                    f"records run history, not an extremal fixpoint, so "
+                    f"it cannot seed a resume"
+                )
+                continue
+            op_kind, required_order = _EXTREMAL_OPS[update.op]
+            queue = summary.queues.get(update.queue_name)
+            if queue is not None and queue.order not in (None, required_order):
+                reasons.append(
+                    f"{access.rendered}: {update.op}-combine on a "
+                    f"{queue.order} queue is not an extremal fixpoint"
+                )
+                continue
+            if kind is not None and kind != op_kind:
+                reasons.append(
+                    f"{access.rendered}: mixes min and max combines in "
+                    f"one ordered loop"
+                )
+            kind = kind or op_kind
+
+    shape: str | None = None
+    if udf_decl is not None and kind is not None and not reasons:
+        shape = detect_relaxation_shape(udf_decl, summary, kind)
+
+    eligible = not reasons and kind is not None
+    return IncrementalEligibility(
+        eligible=eligible,
+        kind=kind if eligible else None,
+        loop_udf=summary.loop_udf,
+        loop_queue=summary.loop_queue,
+        reasons=reasons,
+        relaxation_shape=shape,
+    )
+
+
+def detect_relaxation_shape(
+    udf: ast.FuncDecl,
+    summary: ProgramEffectSummary,
+    kind: str,
+) -> str:
+    """Match the loop UDF's update value against the canonical bodies.
+
+    ``dist_plus_weight``
+        min-combine of ``vec[src] + weight`` — the shortest-path family.
+    ``min_width_weight``
+        max-combine of ``min(vec[src], weight)`` — widest path.
+
+    Anything else is ``"unrecognized"``: eligible in principle, but the
+    interpreted incremental engine has no relaxer for it.
+    """
+    loop_summary = summary.udfs.get(udf.name)
+    if loop_summary is None:
+        return "unrecognized"
+    src_param = loop_summary.src_param
+    vector = summary.queue_vector(summary.loop_queue or "")
+    weight_params = {
+        name for name, _ in udf.parameters
+    } - {src_param, loop_summary.dst_param}
+
+    definitions = _single_assignments(udf)
+    for access in loop_summary.priority_updates:
+        update = access.update
+        if update is None:
+            continue
+        value = _resolve(update.value_arg, definitions)
+        if kind == "min" and _is_dist_plus_weight(
+            value, vector, src_param, weight_params
+        ):
+            return "dist_plus_weight"
+        if kind == "max" and _is_min_width_weight(
+            value, vector, src_param, weight_params
+        ):
+            return "min_width_weight"
+    return "unrecognized"
+
+
+def _single_assignments(udf: ast.FuncDecl) -> dict[str, ast.Expr]:
+    """Local name -> initializer, for names defined exactly once."""
+    counts: dict[str, int] = {}
+    init: dict[str, ast.Expr] = {}
+    for node in ast.walk(udf):
+        if isinstance(node, ast.VarDecl) and node.initializer is not None:
+            counts[node.name] = counts.get(node.name, 0) + 1
+            init[node.name] = node.initializer
+        elif isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
+            counts[node.target.identifier] = (
+                counts.get(node.target.identifier, 0) + 1
+            )
+    return {name: init[name] for name, n in counts.items() if n == 1 and name in init}
+
+
+def _resolve(expr: ast.Expr, definitions: dict[str, ast.Expr]) -> ast.Expr:
+    seen: set[str] = set()
+    while isinstance(expr, ast.Name) and expr.identifier in definitions:
+        if expr.identifier in seen:  # pragma: no cover - cycle guard
+            break
+        seen.add(expr.identifier)
+        expr = definitions[expr.identifier]
+    return expr
+
+
+def _reads_vector_at(expr: ast.Expr, vector: str | None, index: str) -> bool:
+    return (
+        isinstance(expr, ast.Index)
+        and isinstance(expr.base, ast.Name)
+        and expr.base.identifier == vector
+        and isinstance(expr.index, ast.Name)
+        and expr.index.identifier == index
+    )
+
+
+def _is_weight(expr: ast.Expr, weight_params: set[str]) -> bool:
+    return isinstance(expr, ast.Name) and expr.identifier in weight_params
+
+
+def _is_dist_plus_weight(expr, vector, src, weight_params) -> bool:
+    if not (isinstance(expr, ast.BinaryOp) and expr.operator == "+"):
+        return False
+    left, right = expr.left, expr.right
+    return (
+        _reads_vector_at(left, vector, src) and _is_weight(right, weight_params)
+    ) or (
+        _reads_vector_at(right, vector, src) and _is_weight(left, weight_params)
+    )
+
+
+def _is_min_width_weight(expr, vector, src, weight_params) -> bool:
+    if not (
+        isinstance(expr, ast.Call)
+        and expr.function == "min"
+        and len(expr.arguments) == 2
+    ):
+        return False
+    first, second = expr.arguments
+    return (
+        _reads_vector_at(first, vector, src) and _is_weight(second, weight_params)
+    ) or (
+        _reads_vector_at(second, vector, src) and _is_weight(first, weight_params)
+    )

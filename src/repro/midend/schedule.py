@@ -89,6 +89,13 @@ class Schedule:
         loudly on any access outside the static effect summary embedded in
         the generated program (``repro run --sanitize``).  Off by default —
         instrumented vectors cost a bounds check per element access.
+    incremental:
+        Resume the converged run after graph mutations instead of
+        recomputing from scratch (``repro run --incremental``).  Only
+        programs whose ordered loop is an extremal min/max fixpoint are
+        eligible (the ``I001`` analysis); requires the interpreted
+        runtime — the native path owns its queues in C++ and cannot be
+        re-seeded from Python (``configIncremental``).
     """
 
     priority_update: str = "eager_no_fusion"
@@ -101,6 +108,7 @@ class Schedule:
     chunk_size: int = 64
     execution: str = "serial"
     sanitize: bool = False
+    incremental: bool = False
 
     def __post_init__(self) -> None:
         self.validate()
@@ -144,6 +152,13 @@ class Schedule:
                 "the schedule sanitizer instruments the Python runtime; "
                 "native execution cannot be sanitized (drop --sanitize or "
                 "use execution='serial')"
+            )
+        if self.execution == "native" and self.incremental:
+            raise SchedulingError(
+                "incremental resume seeds the interpreted engine's queues "
+                "from Python; native kernels own their buckets in C++ and "
+                "cannot be re-seeded (drop --incremental or use "
+                "execution='serial'/'parallel')"
             )
         if self.is_eager and self.direction != "SparsePush":
             # Section 4.2: direction optimization combines with the *lazy*
@@ -235,6 +250,9 @@ class SchedulingProgram:
     def config_execution(self, label: str, config: str) -> "SchedulingProgram":
         return self._update(label, execution=config)
 
+    def config_incremental(self, label: str, config: bool | str) -> "SchedulingProgram":
+        return self._update(label, incremental=self._parse_bool(config, "incremental"))
+
     # CamelCase aliases so paper schedules paste directly.
     configApplyPriorityUpdate = config_apply_priority_update
     configApplyPriorityUpdateDelta = config_apply_priority_update_delta
@@ -245,6 +263,7 @@ class SchedulingProgram:
     configNumThreads = config_num_threads
     configChunkSize = config_chunk_size
     configExecution = config_execution
+    configIncremental = config_incremental
 
     # ------------------------------------------------------------------
     # Lookup
@@ -292,3 +311,11 @@ class SchedulingProgram:
             return int(value)
         except (TypeError, ValueError) as exc:
             raise SchedulingError(f"{name} must be an integer, got {value!r}") from exc
+
+    @staticmethod
+    def _parse_bool(value: bool | str, name: str) -> bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise SchedulingError(f"{name} must be a boolean, got {value!r}")

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ...errors import CompileError, MonotonicityError, SchedulingError
+from ...errors import (
+    CompileError,
+    IncrementalityError,
+    MonotonicityError,
+    SchedulingError,
+)
 from ...lang import ast_nodes as ast
 from ...obs import span as trace_span
 from ...lang.symbols import SymbolTable
@@ -27,7 +32,12 @@ from ...lang.typecheck import typecheck
 from ...lang.types import PriorityQueueType
 from ..analysis.dependence import DependenceInfo, analyze_dependences
 from ..analysis.diagnostics import validate_ir_or_raise
-from ..analysis.effects import ProgramEffectSummary, analyze_program_effects
+from ..analysis.effects import (
+    IncrementalEligibility,
+    ProgramEffectSummary,
+    analyze_program_effects,
+    classify_incremental_eligibility,
+)
 from ..analysis.loop_patterns import OrderedLoopInfo, recognize_ordered_loop
 from ..analysis.races import RaceReport, analyze_races
 from ..analysis.udf_analysis import (
@@ -53,6 +63,7 @@ _SCHEDULE_COMMANDS = {
     "configNumThreads": "config_num_threads",
     "configChunkSize": "config_chunk_size",
     "configExecution": "config_execution",
+    "configIncremental": "config_incremental",
 }
 
 
@@ -78,6 +89,10 @@ class CompilationPlan:
     # metadata, and monotonicity verdicts.  The Python backend embeds its
     # runtime projection for the schedule sanitizer.
     effects: ProgramEffectSummary | None = None
+    # Incremental-resume eligibility (the I001 analysis): computed for
+    # every ordered program so `repro analyze` can report it, enforced as
+    # a plan-time error only when the schedule requests incremental.
+    incremental_eligibility: "IncrementalEligibility | None" = None
 
     @property
     def label(self) -> str | None:
@@ -215,6 +230,30 @@ def plan_program(
             with trace_span("midend.histogram_transform", "compiler", udf=udf.name):
                 transformed = build_transformed_udf(udf, constant_sum)
 
+    # Incremental-resume eligibility (I001): computed for every program so
+    # `repro analyze` reports the verdict; a schedule that *requests*
+    # incremental on an ineligible program is a plan-time error (mirroring
+    # M001 — a resume is a reordering of the tail of the run, so the same
+    # extremal-fixpoint reasoning gates it).
+    incremental_eligibility: IncrementalEligibility | None = None
+    if effects is not None:
+        with trace_span("midend.incremental_eligibility", "compiler"):
+            incremental_eligibility = classify_incremental_eligibility(
+                effects, udf
+            )
+    if resolved.incremental:
+        if incremental_eligibility is None or not incremental_eligibility.eligible:
+            reasons = (
+                "; ".join(incremental_eligibility.reasons)
+                if incremental_eligibility is not None
+                and incremental_eligibility.reasons
+                else "no effect summary available"
+            )
+            raise IncrementalityError(
+                f"schedule requests incremental resume but the program is "
+                f"not eligible: {reasons}"
+            )
+
     # The bucketing strategy only constrains *ordered* programs; a program
     # without a priority queue ignores it.
     if resolved.is_eager and queue_names:
@@ -261,6 +300,7 @@ def plan_program(
         races=races,
         vectorize=vectorize,
         effects=effects,
+        incremental_eligibility=incremental_eligibility,
     )
 
 

@@ -47,6 +47,7 @@ CATEGORIES = frozenset(
         "runtime",   # apply operators / rounds in runtime_support
         "parallel",  # parallel-engine produce/barrier/commit
         "native",    # native path: toolchain/codegen/compile/load/execute
+        "incremental",  # mutation resume: seed/invalidate/recompute/resume
         "harness",   # eval harness cells
         "cli",       # top-level command spans
         "meta",      # thread-name metadata

@@ -34,7 +34,7 @@ def output_buffer_offsets(graph: CSRGraph, frontier: np.ndarray) -> np.ndarray:
     how the generated lazy code writes destinations without contention.
     """
     frontier = np.asarray(frontier, dtype=np.int64)
-    degrees = graph.indptr[frontier + 1] - graph.indptr[frontier]
+    degrees = graph.out_degrees()[frontier]
     offsets = np.zeros(frontier.size + 1, dtype=np.int64)
     np.cumsum(degrees, out=offsets[1:])
     return offsets
@@ -136,16 +136,43 @@ def gather_out_edges(
     Sources are repeated per edge so the three arrays align; this is the
     vectorized equivalent of the nested source/edge loop in the generated
     push-direction code.
+
+    Overlay-aware without compaction: on a graph with pending mutations
+    the base segments are gathered, removed slots filtered, and pending
+    inserts appended — O(frontier edges + overlay), so a resume over a
+    freshly-mutated graph never pays an O(E) rebuild.  Filtering the
+    stream by a source subset yields exactly the subset's own gather
+    (pending edges keep overlay order, not frontier order), which is the
+    property the parallel prefetch filter relies on.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     if vertices.size == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty.copy(), empty.copy()
-    starts = graph.indptr[vertices]
-    ends = graph.indptr[vertices + 1]
+    if not graph.has_pending_mutations:
+        starts = graph.indptr[vertices]
+        ends = graph.indptr[vertices + 1]
+        edge_index = gather_segments(starts, ends)
+        sources = np.repeat(vertices, ends - starts)
+        return sources, graph.indices[edge_index], graph.weights[edge_index]
+    indptr, indices, weights = graph.base_csr()
+    starts = indptr[vertices]
+    ends = indptr[vertices + 1]
     edge_index = gather_segments(starts, ends)
     sources = np.repeat(vertices, ends - starts)
-    return sources, graph.indices[edge_index], graph.weights[edge_index]
+    removed = graph.removed_mask()
+    if removed is not None:
+        keep = ~removed[edge_index]
+        edge_index = edge_index[keep]
+        sources = sources[keep]
+    dests = indices[edge_index]
+    edge_weights = weights[edge_index]
+    extra_src, extra_dst, extra_w = graph.pending_out_edges(vertices)
+    if extra_src.size:
+        sources = np.concatenate([sources, extra_src])
+        dests = np.concatenate([dests, extra_dst])
+        edge_weights = np.concatenate([edge_weights, extra_w])
+    return sources, dests, edge_weights
 
 
 def gather_in_edges(

@@ -93,6 +93,15 @@ class RuntimeStats:
     dedup_hits: int = 0
     atomic_ops: int = 0
     vertices_processed: int = 0
+    # --- incremental recomputation (mutation resume) ------------------
+    # All stay 0 for from-scratch runs, keeping historical stat dumps
+    # byte-identical.  Populated by the incremental engine; deterministic,
+    # so they participate in oracle comparisons.
+    incremental_runs: int = 0
+    incremental_mutations: int = 0
+    incremental_seeds: int = 0
+    incremental_invalidated: int = 0
+    incremental_vertices_touched: int = 0
     max_work_per_round: list[int] = field(default_factory=list)
     total_work_per_round: list[int] = field(default_factory=list)
     # --- real-parallel observables (PR 3) -----------------------------
@@ -272,6 +281,11 @@ class RuntimeStats:
         self.dedup_hits += other.dedup_hits
         self.atomic_ops += other.atomic_ops
         self.vertices_processed += other.vertices_processed
+        self.incremental_runs += other.incremental_runs
+        self.incremental_mutations += other.incremental_mutations
+        self.incremental_seeds += other.incremental_seeds
+        self.incremental_invalidated += other.incremental_invalidated
+        self.incremental_vertices_touched += other.incremental_vertices_touched
         self.max_work_per_round.extend(other.max_work_per_round)
         self.total_work_per_round.extend(other.total_work_per_round)
         self.parallel_rounds += other.parallel_rounds

@@ -120,6 +120,60 @@ class TestRun:
         assert "vector D:" in capsys.readouterr().out
 
 
+class TestRunIncremental:
+    def test_run_incremental_resumes_per_batch_and_verifies(
+        self, graph_file, tmp_path, capsys
+    ):
+        path, graph, source = graph_file
+        sources, dests, _ = graph.edge_list()
+        src, dst = int(sources[0]), int(dests[0])
+        script = tmp_path / "delta.mut"
+        script.write_text(
+            f"add {source} {dst} 2\n"
+            f"remove {src} {dst}\n"
+            "flush\n"
+            f"update {source} {dst} 1  # improve the edge we just added\n"
+        )
+        code = main(
+            [
+                "run",
+                "sssp",
+                path,
+                str(source),
+                "--incremental",
+                "--mutations",
+                str(script),
+                "--delta",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged from scratch:" in out
+        assert "batch 0: mutations=2" in out
+        assert "batch 1: mutations=1" in out
+        assert out.count("verify=ok") == 2
+        assert "final vector:" in out
+
+    def test_run_incremental_requires_mutation_script(self, graph_file, capsys):
+        path, _, source = graph_file
+        code = main(["run", "sssp", path, str(source), "--incremental"])
+        assert code == 1
+        assert "--mutations" in capsys.readouterr().err
+
+    def test_run_incremental_rejects_ineligible_program(
+        self, tmp_path, graph_file, capsys
+    ):
+        path, _, _ = graph_file
+        script = tmp_path / "one.mut"
+        script.write_text("add 0 1\n")
+        code = main(
+            ["run", "kcore", path, "--incremental", "--mutations", str(script)]
+        )
+        assert code == 1
+        assert "not eligible" in capsys.readouterr().err
+
+
 class TestTraceAndProfile:
     def test_trace_writes_valid_chrome_json(self, graph_file, tmp_path, capsys):
         from repro.obs import get_tracer, load_chrome_trace

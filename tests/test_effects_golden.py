@@ -69,7 +69,17 @@ def test_golden_document_shape(example: Path) -> None:
     """Structural invariants every analysis document must satisfy."""
     document = _document_for(example)
     report = document["programs"][example.stem]
-    assert set(report) == {"schedule", "effects", "runtime_summary"}
+    assert set(report) == {
+        "schedule", "effects", "runtime_summary", "incremental"
+    }
+    incremental = report["incremental"]
+    assert incremental is not None
+    assert isinstance(incremental["eligible"], bool)
+    if incremental["eligible"]:
+        assert incremental["kind"] in ("min", "max")
+        assert not incremental["reasons"]
+    else:
+        assert incremental["reasons"]
     effects = report["effects"]
     assert effects["queues"], "every example declares a priority queue"
     for verdict in effects["monotonicity"]:

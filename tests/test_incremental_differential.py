@@ -1,0 +1,529 @@
+"""Differential correctness harness for incremental recomputation.
+
+Every test follows the same contract: converge a session, apply mutation
+batches, and require the resumed vector to **bit-match a from-scratch
+run** of the same algorithm under the same schedule — both a fresh
+session over the mutated (overlay-carrying) graph and, where asserted, a
+plain runner over a rebuilt clean CSR, so an overlay bug cannot hide by
+affecting both sides identically.
+
+Coverage axes:
+
+- algorithm x bucketing strategy (sssp / wbfs / widest-path / k-core
+  under lazy / eager / relaxed / histogram strategies),
+- mutation kind (insert, delete, weight moves in both directions, mixed),
+- batch size (single mutation up to 16 per batch),
+- adversarial shapes (self-loops, parallel edges, zero-weight edges,
+  disconnecting deletions, mutations at the source).
+
+The I001 eligibility gate (schedules requesting incremental resume on
+non-extremal programs) is tested at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import kcore as kcore_runner
+from repro.algorithms import sssp as sssp_runner
+from repro.algorithms import wbfs as wbfs_runner
+from repro.algorithms import widest_path as widest_runner
+from repro.errors import SchedulingError
+from repro.graph.builder import from_edges
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat
+from repro.graph.mutations import Mutation, parse_mutation_script
+from repro.incremental import IncrementalSession
+from repro.lang.programs import ALL_PROGRAMS
+from repro.midend.analysis.diagnostics import Severity, lint_program
+from repro.midend.schedule import Schedule
+
+# ---------------------------------------------------------------------------
+# The strategy matrix: (algorithm, label) -> session kwargs
+# ---------------------------------------------------------------------------
+
+STRATEGIES: dict[tuple[str, str], dict] = {
+    ("sssp", "lazy"): dict(schedule=Schedule(priority_update="lazy", delta=3)),
+    ("sssp", "eager"): dict(
+        schedule=Schedule(priority_update="eager_no_fusion", delta=3)
+    ),
+    ("sssp", "relaxed"): dict(
+        schedule=Schedule(
+            priority_update="eager_with_fusion", delta=3, bucket_fusion_threshold=64
+        ),
+        relaxed_ordering=True,
+    ),
+    ("wbfs", "lazy"): dict(schedule=Schedule(priority_update="lazy", delta=1)),
+    ("wbfs", "eager"): dict(
+        schedule=Schedule(priority_update="eager_no_fusion", delta=1)
+    ),
+    ("widest_path", "lazy"): dict(
+        schedule=Schedule(priority_update="lazy", delta=8)
+    ),
+    ("widest_path", "fusion"): dict(
+        schedule=Schedule(priority_update="eager_with_fusion", delta=8)
+    ),
+    ("kcore", "lazy"): dict(schedule=Schedule(priority_update="lazy", delta=1)),
+    ("kcore", "eager"): dict(
+        schedule=Schedule(priority_update="eager_no_fusion", delta=1)
+    ),
+    ("kcore", "histogram"): dict(
+        schedule=Schedule(priority_update="lazy_constant_sum", delta=1)
+    ),
+}
+
+SOURCE = 0
+
+
+def make_graph(algorithm: str, seed: int = 3) -> CSRGraph:
+    if algorithm == "kcore":
+        return rmat(7, 8, seed=seed).symmetrized()
+    if algorithm == "wbfs":
+        return rmat(7, 8, seed=seed, weights=(1, 3))
+    return rmat(7, 8, seed=seed, weights=(1, 9))
+
+
+def make_session(algorithm: str, label: str, graph: CSRGraph) -> IncrementalSession:
+    return IncrementalSession(
+        graph, algorithm, source=SOURCE, **STRATEGIES[(algorithm, label)]
+    )
+
+
+def random_batch(
+    rng: np.random.Generator,
+    graph: CSRGraph,
+    size: int,
+    kinds: tuple[str, ...],
+    unit_weights: bool,
+    symmetric: bool,
+) -> list[Mutation]:
+    """A batch over live edges (for remove/update) and random pairs (add)."""
+    sources, dests, _ = graph.edge_list()
+    batch: list[Mutation] = []
+    seen: set[tuple[int, int]] = set()
+    n = graph.num_vertices
+    while len(batch) < size:
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind == "add":
+            weight = 1 if unit_weights else int(rng.integers(1, 10))
+            batch.append(
+                Mutation("add", int(rng.integers(n)), int(rng.integers(n)), weight)
+            )
+            continue
+        i = int(rng.integers(sources.size))
+        src, dst = int(sources[i]), int(dests[i])
+        if (src, dst) in seen or (symmetric and (dst, src) in seen):
+            continue
+        seen.add((src, dst))
+        if kind == "remove":
+            batch.append(Mutation("remove", src, dst))
+        else:
+            batch.append(Mutation("update", src, dst, int(rng.integers(1, 10))))
+    return batch
+
+
+def rebuilt_clean_graph(graph: CSRGraph) -> CSRGraph:
+    """A fresh CSR built from the mutated graph's edge list (no overlay)."""
+    sources, dests, weights = graph.edge_list()
+    return from_edges(
+        graph.num_vertices,
+        zip(sources.tolist(), dests.tolist(), weights.tolist()),
+    )
+
+
+def from_scratch(algorithm: str, label: str, graph: CSRGraph) -> np.ndarray:
+    """Oracle: an independent converged run on the current graph."""
+    oracle = make_session(algorithm, label, graph)
+    return oracle.run().values
+
+
+def plain_runner_values(algorithm: str, label: str, graph: CSRGraph) -> np.ndarray:
+    """Second oracle: the non-incremental algorithm runner on a clean CSR."""
+    kwargs = STRATEGIES[(algorithm, label)]
+    schedule = kwargs["schedule"]
+    if algorithm == "sssp":
+        return sssp_runner(
+            graph,
+            SOURCE,
+            schedule,
+            relaxed_ordering=kwargs.get("relaxed_ordering", False),
+        ).distances
+    if algorithm == "wbfs":
+        return wbfs_runner(graph, SOURCE, schedule).distances
+    if algorithm == "widest_path":
+        return widest_runner(graph, SOURCE, schedule).distances
+    return kcore_runner(graph, schedule).coreness
+
+
+# ---------------------------------------------------------------------------
+# 1. The full matrix: algorithm x strategy, mixed batches, growing sizes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm,label", sorted(STRATEGIES), ids=lambda v: str(v)
+)
+def test_differential_matrix(algorithm: str, label: str) -> None:
+    graph = make_graph(algorithm)
+    unit = algorithm == "kcore"
+    kinds = ("add", "remove") if unit else ("add", "remove", "update")
+    session = make_session(algorithm, label, graph)
+    session.run()
+    rng = np.random.default_rng(11)
+    for batch_no, size in enumerate((1, 4, 8, 16)):
+        batch = random_batch(
+            rng, session.graph, size, kinds, unit_weights=unit, symmetric=unit
+        )
+        result = session.apply(batch)
+        expected = from_scratch(algorithm, label, session.graph)
+        assert np.array_equal(result.values, expected), (
+            f"{algorithm}/{label}: batch {batch_no} (size {size}) diverged "
+            f"at vertices {np.flatnonzero(result.values != expected)[:10]}"
+        )
+        assert result.incremental
+        assert result.vertices_touched <= session.graph.num_vertices
+        assert np.array_equal(session.values, expected)
+
+
+# ---------------------------------------------------------------------------
+# 2. Single-kind batches: inserts only, deletes only, weight moves each way
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["sssp", "wbfs", "widest_path", "kcore"])
+@pytest.mark.parametrize("kind", ["insert", "delete", "weight_up", "weight_down"])
+def test_single_mutation_kinds(algorithm: str, kind: str) -> None:
+    if algorithm == "kcore" and kind.startswith("weight"):
+        pytest.skip("k-core is weight-agnostic; update batches are no-ops")
+    label = "lazy"
+    graph = make_graph(algorithm, seed=5)
+    unit = algorithm == "kcore"
+    session = make_session(algorithm, label, graph)
+    session.run()
+    rng = np.random.default_rng(23)
+    for _ in range(4):
+        sources, dests, weights = session.graph.edge_list()
+        batch: list[Mutation] = []
+        seen: set[tuple[int, int]] = set()
+        while len(batch) < 5:
+            if kind == "insert":
+                weight = 1 if unit else int(rng.integers(1, 10))
+                n = session.graph.num_vertices
+                batch.append(
+                    Mutation(
+                        "add", int(rng.integers(n)), int(rng.integers(n)), weight
+                    )
+                )
+                continue
+            i = int(rng.integers(sources.size))
+            src, dst = int(sources[i]), int(dests[i])
+            if (src, dst) in seen or (unit and (dst, src) in seen):
+                continue
+            seen.add((src, dst))
+            if kind == "delete":
+                batch.append(Mutation("remove", src, dst))
+            elif kind == "weight_up":
+                batch.append(Mutation("update", src, dst, int(weights[i]) + 3))
+            else:
+                batch.append(
+                    Mutation("update", src, dst, max(1, int(weights[i]) - 3))
+                )
+        result = session.apply(batch)
+        expected = from_scratch(algorithm, label, session.graph)
+        assert np.array_equal(result.values, expected), (
+            f"{algorithm}/{kind} diverged at "
+            f"{np.flatnonzero(result.values != expected)[:10]}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# 3. The rebuilt-graph oracle: overlay bugs cannot hide
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["sssp", "wbfs", "widest_path", "kcore"])
+def test_matches_plain_runner_on_rebuilt_graph(algorithm: str) -> None:
+    label = "lazy"
+    graph = make_graph(algorithm, seed=9)
+    unit = algorithm == "kcore"
+    kinds = ("add", "remove") if unit else ("add", "remove", "update")
+    session = make_session(algorithm, label, graph)
+    session.run()
+    rng = np.random.default_rng(41)
+    for _ in range(3):
+        batch = random_batch(
+            rng, session.graph, 6, kinds, unit_weights=unit, symmetric=unit
+        )
+        result = session.apply(batch)
+        clean = rebuilt_clean_graph(session.graph)
+        expected = plain_runner_values(algorithm, label, clean)
+        assert np.array_equal(result.values, expected), (
+            f"{algorithm}: resumed vector disagrees with the plain runner "
+            f"on a rebuilt graph at "
+            f"{np.flatnonzero(result.values != expected)[:10]}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# 4. Adversarial shapes
+# ---------------------------------------------------------------------------
+
+
+def assert_batches_match(
+    session: IncrementalSession, algorithm: str, label: str, batches
+) -> None:
+    for batch_no, batch in enumerate(batches):
+        result = session.apply(list(batch))
+        expected = from_scratch(algorithm, label, session.graph)
+        assert np.array_equal(result.values, expected), (
+            f"batch {batch_no} diverged at "
+            f"{np.flatnonzero(result.values != expected)[:10]}"
+        )
+
+
+class TestAdversarialShapes:
+    def test_self_loops(self) -> None:
+        graph = from_edges(
+            6, [(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 4, 9), (4, 3, 1)]
+        )
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        assert_batches_match(
+            session,
+            "sssp",
+            "lazy",
+            [
+                [Mutation("add", 2, 2, 1)],  # self-loop insert
+                [Mutation("update", 2, 2, 5)],
+                [Mutation("remove", 2, 2)],
+                [Mutation("add", 0, 0, 1), Mutation("remove", 0, 1)],
+            ],
+        )
+
+    def test_parallel_edges(self) -> None:
+        # Duplicate copies of 1 -> 2; remove deletes *every* copy at once,
+        # update rewrites every copy.
+        graph = from_edges(
+            5, [(0, 1, 1), (1, 2, 4), (1, 2, 7), (2, 3, 1), (0, 3, 9)]
+        )
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        assert_batches_match(
+            session,
+            "sssp",
+            "lazy",
+            [
+                [Mutation("add", 1, 2, 2)],  # third parallel copy, tighter
+                [Mutation("update", 1, 2, 6)],  # all copies move to 6
+                [Mutation("remove", 1, 2)],  # every copy disappears
+            ],
+        )
+
+    def test_zero_weight_edges(self) -> None:
+        # A zero-weight cycle keeps both members mutually supported: the
+        # invalidation cone must clear the whole cycle, not trust it.
+        graph = from_edges(
+            6, [(0, 1, 0), (1, 2, 0), (2, 1, 0), (2, 3, 1), (0, 3, 5)]
+        )
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        assert_batches_match(
+            session,
+            "sssp",
+            "lazy",
+            [
+                [Mutation("remove", 0, 1)],  # cycle loses outside support
+                [Mutation("add", 0, 1, 0)],
+                [Mutation("update", 0, 1, 2)],
+            ],
+        )
+
+    def test_disconnecting_mutation(self) -> None:
+        # Removing the only bridge must drive the far side back to the
+        # identity (unreachable), not leave stale finite values.
+        graph = from_edges(6, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1)])
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        result = session.apply([Mutation("remove", 1, 2)])
+        expected = from_scratch("sssp", "lazy", session.graph)
+        assert np.array_equal(result.values, expected)
+        unreachable = result.values[2]
+        assert result.values[3] == unreachable and result.values[4] == unreachable
+        # Reconnect through a different bridge.
+        result = session.apply([Mutation("add", 0, 2, 7)])
+        expected = from_scratch("sssp", "lazy", session.graph)
+        assert np.array_equal(result.values, expected)
+
+    def test_mutations_at_the_source(self) -> None:
+        graph = from_edges(5, [(0, 1, 3), (1, 2, 3), (0, 2, 9), (3, 0, 2)])
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        assert_batches_match(
+            session,
+            "sssp",
+            "lazy",
+            [
+                [Mutation("add", 1, 0, 1)],  # edge back into the source
+                [Mutation("remove", 0, 1)],  # source loses its tight edge
+                [Mutation("add", 0, 1, 2), Mutation("update", 0, 2, 4)],
+            ],
+        )
+
+    def test_add_then_remove_in_one_batch(self) -> None:
+        graph = from_edges(4, [(0, 1, 2), (1, 2, 2)])
+        session = IncrementalSession(
+            graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+        )
+        session.run()
+        batch = [
+            Mutation("add", 0, 3, 1),
+            Mutation("remove", 0, 3),
+            Mutation("add", 2, 3, 1),
+        ]
+        result = session.apply(batch)
+        expected = from_scratch("sssp", "lazy", session.graph)
+        assert np.array_equal(result.values, expected)
+
+
+# ---------------------------------------------------------------------------
+# 5. Resume profile counters
+# ---------------------------------------------------------------------------
+
+
+def test_stats_counters_accumulate() -> None:
+    graph = make_graph("sssp")
+    session = make_session("sssp", "lazy", graph)
+    session.run()
+    batch = random_batch(
+        np.random.default_rng(2),
+        session.graph,
+        8,
+        ("add", "remove", "update"),
+        unit_weights=False,
+        symmetric=False,
+    )
+    result = session.apply(batch)
+    stats = result.stats
+    assert stats.incremental_runs == 1
+    assert stats.incremental_mutations == len(batch)
+    assert stats.incremental_seeds == result.seeds
+    assert stats.incremental_invalidated == result.invalidated
+    assert stats.incremental_vertices_touched == result.vertices_touched
+    assert 0 <= result.vertices_touched <= graph.num_vertices
+    assert result.seeds <= graph.num_vertices
+
+
+def test_empty_cone_is_a_noop_resume() -> None:
+    """Worsening a slack (non-supporting) edge must not invalidate anyone."""
+    graph = from_edges(4, [(0, 1, 1), (0, 2, 1), (1, 3, 1), (0, 3, 9)])
+    session = IncrementalSession(
+        graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+    )
+    session.run()
+    result = session.apply([Mutation("update", 0, 3, 10)])  # still slack
+    assert result.invalidated == 0
+    assert result.seeds == 0
+    expected = from_scratch("sssp", "lazy", session.graph)
+    assert np.array_equal(result.values, expected)
+
+
+# ---------------------------------------------------------------------------
+# 6. Mutation scripts drive the same engine (the CLI path)
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_script_batches() -> None:
+    script = """
+    # grow, then prune
+    add 0 2 4
+    add 2 3 1
+    flush
+    update 0 2 2
+    flush
+    remove 0 2
+    """
+    batches = parse_mutation_script(script)
+    assert [len(b) for b in batches] == [2, 1, 1]
+    graph = from_edges(5, [(0, 1, 1), (1, 2, 1), (3, 4, 2)])
+    session = IncrementalSession(
+        graph, "sssp", source=0, schedule=Schedule(priority_update="lazy")
+    )
+    session.run()
+    for batch in batches:
+        result = session.apply(batch)
+        expected = from_scratch("sssp", "lazy", session.graph)
+        assert np.array_equal(result.values, expected)
+
+
+# ---------------------------------------------------------------------------
+# 7. The I001 eligibility gate
+# ---------------------------------------------------------------------------
+
+
+class TestIncrementalEligibility:
+    def test_sum_program_is_ineligible(self) -> None:
+        """k-core's updatePrioritySum cannot seed a resume: I001."""
+        diags = lint_program(
+            ALL_PROGRAMS["kcore"], schedule=Schedule(incremental=True)
+        )
+        codes = {d.code for d in diags if d.severity is Severity.ERROR}
+        assert "I001" in codes
+
+    def test_extremal_program_is_eligible(self) -> None:
+        diags = lint_program(
+            ALL_PROGRAMS["sssp"],
+            schedule=Schedule(priority_update="lazy", incremental=True),
+        )
+        assert not [d for d in diags if d.code == "I001"]
+
+    def test_plan_rejects_ineligible_schedule(self) -> None:
+        from repro.errors import IncrementalityError
+        from repro.lang.parser import parse
+        from repro.midend.transforms.lowering import plan_program
+
+        with pytest.raises(IncrementalityError, match="not eligible"):
+            plan_program(
+                parse(ALL_PROGRAMS["kcore"]), Schedule(incremental=True)
+            )
+
+    def test_plan_carries_verdict_without_request(self) -> None:
+        from repro.lang.parser import parse
+        from repro.midend.transforms.lowering import plan_program
+
+        plan = plan_program(
+            parse(ALL_PROGRAMS["kcore"]), Schedule(priority_update="lazy")
+        )
+        verdict = plan.incremental_eligibility
+        assert verdict is not None and not verdict.eligible
+        assert any("history" in reason for reason in verdict.reasons)
+
+        plan = plan_program(
+            parse(ALL_PROGRAMS["sssp"]),
+            Schedule(priority_update="lazy", incremental=True),
+        )
+        verdict = plan.incremental_eligibility
+        assert verdict is not None and verdict.eligible
+        assert verdict.kind == "min"
+        assert verdict.relaxation_shape == "dist_plus_weight"
+
+    def test_native_execution_rejects_incremental(self) -> None:
+        with pytest.raises(SchedulingError, match="native"):
+            Schedule(execution="native", incremental=True)
+
+    def test_session_rejects_native_schedule(self) -> None:
+        graph = from_edges(3, [(0, 1, 1)])
+        schedule = Schedule(priority_update="lazy")
+        object.__setattr__(schedule, "execution", "native")
+        with pytest.raises(SchedulingError, match="native"):
+            IncrementalSession(graph, "sssp", source=0, schedule=schedule)
