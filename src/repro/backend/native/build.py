@@ -21,13 +21,20 @@ from __future__ import annotations
 import hashlib
 import os
 import subprocess
+import time
 from pathlib import Path
 
 from ...errors import CompileError
+from ...obs import metrics
 from ...obs import span as trace_span
 from .toolchain import Toolchain
 
 __all__ = ["kernel_cache_dir", "kernel_key", "build_kernel"]
+
+_CACHE_HITS = metrics.counter("native.cache_hits")
+_CACHE_MISSES = metrics.counter("native.cache_misses")
+_BUILDS = metrics.counter("native.builds")
+_COMPILE_US = metrics.histogram("native.compile_us")
 
 
 def kernel_cache_dir() -> Path:
@@ -68,7 +75,11 @@ def build_kernel(source_text: str, toolchain: Toolchain) -> Path:
             sp["cache_hit"] = hit
             sp["key"] = key
         if hit:
+            _CACHE_HITS.inc()
             return library
+        _CACHE_MISSES.inc()
+        _BUILDS.inc()
+        build_start = time.perf_counter()
         cache.mkdir(parents=True, exist_ok=True)
         source_path = cache / f"{key}.cpp"
         # g++ infers the language from the extension, so the temp names keep
@@ -99,4 +110,5 @@ def build_kernel(source_text: str, toolchain: Toolchain) -> Path:
             )
         os.replace(tmp_source, source_path)
         os.replace(tmp_library, library)
+        _COMPILE_US.observe(int((time.perf_counter() - build_start) * 1e6))
     return library

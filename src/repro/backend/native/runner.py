@@ -24,6 +24,7 @@ tracing is on.
 from __future__ import annotations
 
 import ctypes
+import time
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from ...errors import CompileError, GraphItError
 from ...graph.csr import CSRGraph
 from ...graph.io import load_edge_list
 from ...lang.types import VectorType
+from ...obs import metrics
 from ...obs import span as trace_span
 from ...obs import stat_span as trace_stat_span
 from ...runtime.stats import RuntimeStats
@@ -39,6 +41,9 @@ from .build import build_kernel
 from .toolchain import discover_toolchain
 
 __all__ = ["NativeUnavailable", "execute_native", "native_output_names"]
+
+_EXECUTIONS = metrics.counter("native.executions")
+_EXECUTE_US = metrics.histogram("native.execute_us")
 
 _INT64_P = ctypes.POINTER(ctypes.c_int64)
 
@@ -140,47 +145,52 @@ def execute_native(program, args, graph: CSRGraph | None = None):
     library_path = build_kernel(source_text, toolchain)
     library = _load_library(str(library_path))
 
-    abi = int(library.repro_native_abi_version())
-    if abi != ABI_VERSION:
-        raise NativeUnavailable(
-            f"kernel ABI version {abi} does not match runner {ABI_VERSION}"
-        )
-
-    if graph is None:
-        if len(args) < 2 or not args[1] or args[1] == "-":
-            raise GraphItError(
-                "native execution needs a graph: pass graph= or a path in "
-                "argv[1]"
+    # The marshalling/ABI-validation phase between build and kernel entry:
+    # spanned so ``repro profile --execution native`` attributes dispatch
+    # cost instead of folding it invisibly into the gap between spans.
+    with trace_span("native.dispatch", "native", kernel=str(library_path)):
+        abi = int(library.repro_native_abi_version())
+        if abi != ABI_VERSION:
+            raise NativeUnavailable(
+                f"kernel ABI version {abi} does not match runner {ABI_VERSION}"
             )
-        graph = load_edge_list(args[1])
 
-    indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
-    indices = np.ascontiguousarray(graph.indices, dtype=np.int64)
-    weights = np.ascontiguousarray(graph.weights, dtype=np.int64)
-    int_args = _parse_int_args(args)
+        if graph is None:
+            if len(args) < 2 or not args[1] or args[1] == "-":
+                raise GraphItError(
+                    "native execution needs a graph: pass graph= or a path "
+                    "in argv[1]"
+                )
+            graph = load_edge_list(args[1])
 
-    required = int(library.repro_native_num_args_required())
-    if int_args.size < required:
-        raise GraphItError(
-            f"program needs {required} integer argument(s) after the graph "
-            f"path, got {int_args.size}"
+        indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(graph.indices, dtype=np.int64)
+        weights = np.ascontiguousarray(graph.weights, dtype=np.int64)
+        int_args = _parse_int_args(args)
+
+        required = int(library.repro_native_num_args_required())
+        if int_args.size < required:
+            raise GraphItError(
+                f"program needs {required} integer argument(s) after the "
+                f"graph path, got {int_args.size}"
+            )
+
+        names = native_output_names(program.plan)
+        declared_outputs = int(library.repro_native_num_outputs())
+        if declared_outputs != len(names):
+            raise NativeUnavailable(
+                f"kernel declares {declared_outputs} outputs, plan has "
+                f"{len(names)}"
+            )
+        outputs = [
+            np.zeros(graph.num_vertices, dtype=np.int64) for _ in names
+        ]
+        out_pointers = (_INT64_P * len(outputs))(
+            *[_as_int64_pointer(buffer) for buffer in outputs]
         )
-
-    names = native_output_names(program.plan)
-    declared_outputs = int(library.repro_native_num_outputs())
-    if declared_outputs != len(names):
-        raise NativeUnavailable(
-            f"kernel declares {declared_outputs} outputs, plan has "
-            f"{len(names)}"
-        )
-    outputs = [
-        np.zeros(graph.num_vertices, dtype=np.int64) for _ in names
-    ]
-    out_pointers = (_INT64_P * len(outputs))(
-        *[_as_int64_pointer(buffer) for buffer in outputs]
-    )
 
     stats = RuntimeStats()
+    execute_start = time.perf_counter()
     with trace_stat_span(
         "native.execute",
         "native",
@@ -203,6 +213,8 @@ def execute_native(program, args, graph: CSRGraph | None = None):
                 ctypes.c_int64(program.plan.schedule.num_threads),
             )
         )
+    _EXECUTIONS.inc()
+    _EXECUTE_US.observe(int((time.perf_counter() - execute_start) * 1e6))
     if status != 0:
         raise GraphItError(
             f"native kernel returned status {status} "

@@ -20,9 +20,12 @@ import subprocess
 import tempfile
 from dataclasses import dataclass
 
+from ...obs import metrics
 from ...obs import span as trace_span
 
 __all__ = ["Toolchain", "discover_toolchain", "reset_toolchain_cache"]
+
+_PROBES = metrics.counter("native.toolchain_probes")
 
 _PROBE_CANDIDATES = ("g++", "clang++", "c++")
 
@@ -89,6 +92,7 @@ def discover_toolchain() -> Toolchain | None:
     global _cached
     if _cached is not False:
         return _cached
+    _PROBES.inc()
     with trace_span("native.toolchain", "native") as sp:
         override = os.environ.get("REPRO_NATIVE_CXX")
         candidates = (override,) if override else _PROBE_CANDIDATES

@@ -21,6 +21,7 @@ import numpy as np
 from ..errors import CompileError
 from ..graph.csr import CSRGraph
 from ..lang.parser import parse
+from ..obs import metrics, note_run
 from ..obs import span as trace_span
 from ..obs import stat_span as trace_stat_span
 from ..midend.schedule import Schedule, SchedulingProgram
@@ -30,6 +31,9 @@ from .python_backend import generate_python
 from .runtime_support import Context
 
 __all__ = ["compile_program", "CompiledProgram", "RunResult"]
+
+_RUNS_COMPLETED = metrics.counter("runs.completed")
+_RUNS_FAILED = metrics.counter("runs.failed")
 
 
 @dataclass
@@ -82,11 +86,24 @@ class CompiledProgram:
                 f"the {self.backend} backend generates source only; "
                 f"compile with backend='python' to run in-process"
             )
+        note_run(
+            argv=list(args),
+            execution=self.plan.schedule.execution,
+            priority_update=self.plan.schedule.priority_update,
+            delta=self.plan.schedule.delta,
+        )
         if self.plan.schedule.execution == "native":
             from .native import NativeUnavailable, execute_native
 
             try:
-                return execute_native(self, args, graph=graph)
+                # The span makes the native path visible to ``repro
+                # profile``: it is the top-level phase the compile/cache/
+                # dispatch/execute spans nest under, like the Python path's
+                # program.run stat_span below.
+                with trace_span(
+                    "program.run", "runtime", argv=list(args), execution="native"
+                ):
+                    result = execute_native(self, args, graph=graph)
             except NativeUnavailable as exc:
                 # The documented degradation ladder: no toolchain (or an
                 # unlowerable program shape) falls back to the vectorized
@@ -99,6 +116,12 @@ class CompiledProgram:
                     f"vectorized Python: {exc.reason}",
                     file=sys.stderr,
                 )
+            except Exception:
+                _RUNS_FAILED.inc()
+                raise
+            else:
+                _RUNS_COMPLETED.inc()
+                return result
         context = Context(
             argv=args,
             schedule=self.plan.schedule,
@@ -106,15 +129,20 @@ class CompiledProgram:
             extern_functions=extern_functions,
             vectorize=vectorize,
         )
-        with trace_stat_span(
-            "program.run",
-            "runtime",
-            context.stats,
-            argv=list(args),
-            execution=self.plan.schedule.execution,
-            vectorize=bool(vectorize),
-        ):
-            program_globals = self._entry(context)
+        try:
+            with trace_stat_span(
+                "program.run",
+                "runtime",
+                context.stats,
+                argv=list(args),
+                execution=self.plan.schedule.execution,
+                vectorize=bool(vectorize),
+            ):
+                program_globals = self._entry(context)
+        except Exception:
+            _RUNS_FAILED.inc()
+            raise
+        _RUNS_COMPLETED.inc()
         context.globals.update(program_globals)
         return RunResult(
             globals=program_globals, stats=context.stats, context=context

@@ -19,11 +19,19 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PriorityQueueError
+from ..obs import metrics
 from ..obs import span as trace_span
 from ..runtime.stats import RuntimeStats
 from .interface import AbstractPriorityQueue, PriorityDirection
 
 __all__ = ["LazyBucketQueue"]
+
+_DEQUEUES = metrics.counter("bucket.dequeues")
+_FRONTIER_SIZE = metrics.histogram("bucket.frontier_size")
+_OCCUPANCY = metrics.histogram("bucket.occupancy")
+_REBUCKETS = metrics.counter("bucket.rebucket_overflows")
+_REDUCE_BATCHES = metrics.counter("bucket.reduce_batches")
+_DELTA = metrics.gauge("bucket.delta")
 
 
 class LazyBucketQueue(AbstractPriorityQueue):
@@ -112,7 +120,16 @@ class LazyBucketQueue(AbstractPriorityQueue):
                 live = self._filter_and_mark_live(members, order)
                 if live.size == 0:
                     continue
+                occupancy = 1 + sum(
+                    1 for bucket in self._buckets if bucket
+                ) + (1 if self._overflow else 0)
                 self.stats.vertices_processed += int(live.size)
+                self.stats.frontier_per_round.append(int(live.size))
+                self.stats.bucket_occupancy_per_round.append(occupancy)
+                _DEQUEUES.inc()
+                _FRONTIER_SIZE.observe(live.size)
+                _OCCUPANCY.observe(occupancy)
+                _DELTA.set(self.delta)
                 if sp is not None:
                     sp["order"] = int(order)
                     sp["frontier"] = int(live.size)
@@ -360,6 +377,7 @@ class LazyBucketQueue(AbstractPriorityQueue):
         self.merge_local_buffers()
         if not self._pending:
             return
+        _REDUCE_BATCHES.inc()
         with trace_span("bucket.reduce", "bucket", strategy="lazy") as sp:
             self._flush_pending_traced(sp)
 
@@ -415,6 +433,7 @@ class LazyBucketQueue(AbstractPriorityQueue):
 
     def _rebucket_overflow(self) -> None:
         """Open a new window at the smallest overflow order and redistribute."""
+        _REBUCKETS.inc()
         with trace_span("bucket.rebucket_overflow", "bucket", strategy="lazy") as sp:
             self._rebucket_overflow_traced(sp)
 

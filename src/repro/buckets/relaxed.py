@@ -23,11 +23,20 @@ import numpy as np
 
 from ..errors import PriorityQueueError
 from ..obs import instant as trace_instant
+from ..obs import metrics
 from ..obs import span as trace_span
 from ..runtime.stats import RuntimeStats
 from .interface import AbstractPriorityQueue, PriorityDirection
 
 __all__ = ["RelaxedPriorityQueue"]
+
+# The relaxed queue records aggregate metrics only — chunk order under the
+# parallel engine is scheduling-dependent by design, so there are no
+# per-round stats lists here (sums stay deterministic, sequences would not).
+_DEQUEUES = metrics.counter("bucket.dequeues")
+_FRONTIER_SIZE = metrics.histogram("bucket.frontier_size")
+_WINDOW_ADVANCES = metrics.counter("bucket.window_advances")
+_DELTA = metrics.gauge("bucket.delta")
 
 
 class RelaxedPriorityQueue(AbstractPriorityQueue):
@@ -93,6 +102,7 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
                 # The priority window moved: this is the only point the
                 # relaxed strategy synchronizes at (charged by the executor).
                 self.window_advances += 1
+                _WINDOW_ADVANCES.inc()
                 trace_instant(
                     "bucket.window_advance",
                     "bucket",
@@ -119,6 +129,10 @@ class RelaxedPriorityQueue(AbstractPriorityQueue):
                 np.concatenate(popped) if popped else np.empty(0, dtype=np.int64)
             )
             self.stats.vertices_processed += int(members.size)
+            if members.size:
+                _DEQUEUES.inc()
+                _FRONTIER_SIZE.observe(members.size)
+                _DELTA.set(self.delta)
             if sp is not None:
                 sp["order"] = int(self._cur_order)
                 sp["chunk"] = int(members.size)

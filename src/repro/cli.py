@@ -19,10 +19,19 @@ Mirrors the GraphIt compiler's command-line workflow:
 - ``trace`` — compile and run a program under the tracer and write a
   Chrome-trace-format JSON (loadable in Perfetto / ``chrome://tracing``).
 - ``profile`` — same traced run, printed as a self-time profile table.
+- ``metrics`` — run a program and print the always-on metrics registry
+  (JSON or Prometheus text); ``--workload`` also writes the workload
+  profile (the paper's crossover axes) for the autotuner.
+- ``last-run`` — inspect the crash flight recorder's forensics dump from
+  the most recent failed invocation.
+- ``trace-diff`` — attribute the wall-time delta between two trace /
+  profile artifacts to compiler and runtime phases.
 - ``bench-native`` — benchmark the native compiled-kernel path against the
   sequential scalar oracle (requires a C++ toolchain).
 - ``bench-check`` — re-run the checked-in benchmarks and fail when a
-  fresh run regresses past a tolerance (the CI perf gate).
+  fresh run regresses past a tolerance (the CI perf gate);
+  ``--attribute`` prints the per-phase diff against the baseline's
+  embedded phase profile.
 
 Examples::
 
@@ -34,7 +43,11 @@ Examples::
     python -m repro analyze sssp widest --format json
     python -m repro trace examples/sssp_delta.gt --out trace.json
     python -m repro profile sssp --execution parallel --threads 4
-    python -m repro bench-check --tolerance 0.2
+    python -m repro metrics sssp social.el 0 --format prom
+    python -m repro metrics sssp --workload profile.json
+    python -m repro last-run
+    python -m repro trace-diff baseline_trace.json fresh_trace.json
+    python -m repro bench-check --tolerance 0.2 --attribute
 """
 
 from __future__ import annotations
@@ -494,6 +507,116 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: run once, print the always-on metrics registry.
+
+    The registry is process-wide and always on (``REPRO_METRICS=0``
+    disables), so the snapshot covers the compile and the run the command
+    just performed — no tracer needed.  ``--workload`` additionally writes
+    the run's workload profile (frontier shape, bucket occupancy,
+    redundant-update ratio — the crossover axes) for the autotuner.
+    """
+    import json
+
+    from .obs import metrics as metrics_registry
+    from .obs import workload_profile, write_workload_profile
+
+    source = _load_source(args.program)
+    base_schedule = compile_program(source, None).schedule
+    schedule = _schedule_with_overrides(base_schedule, args)
+    if args.graph is None or args.graph == "-":
+        graph = rmat(10, 16, seed=0, weights=(1, 4))
+        graph_name = "rmat(scale=10,edge_factor=16,seed=0)"
+    else:
+        graph = _load_graph(args.graph)
+        graph_name = args.graph
+    program_args = list(args.args) if args.args else ["0"]
+    program = compile_program(source, schedule)
+    result = program.run([args.program, graph_name, *program_args], graph=graph)
+
+    snap = metrics_registry.snapshot()
+    if args.format == "prom":
+        text = metrics_registry.prometheus_text()
+    else:
+        text = json.dumps(snap, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote metrics ({args.format}) to {args.out}")
+    else:
+        sys.stdout.write(text)
+    if args.workload:
+        profile = workload_profile(
+            result.stats, schedule, graph, metrics_snapshot=snap
+        )
+        write_workload_profile(args.workload, profile)
+        print(f"wrote workload profile to {args.workload}")
+    return 0
+
+
+def _cmd_last_run(args: argparse.Namespace) -> int:
+    """``repro last-run``: show the flight recorder's last forensics dump."""
+    import json
+
+    from .obs import last_run_path
+
+    path = args.path or last_run_path()
+    if not os.path.exists(path):
+        print(
+            f"no forensics dump at {path!r} (written when a repro command "
+            "fails with the flight recorder enabled)"
+        )
+        return 1
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if args.raw:
+        print(json.dumps(document, indent=2))
+        return 0
+    error = document.get("error") or {}
+    print(f"forensics dump: {path}")
+    print(f"written_at: {document.get('written_at')}")
+    print(f"argv: {' '.join(document.get('argv') or []) or '(unknown)'}")
+    print(f"error: {error.get('type')}: {error.get('message')}")
+    context = document.get("context") or {}
+    if context:
+        print(f"context: {json.dumps(context, sort_keys=True)}")
+    events = document.get("events") or []
+    print(f"{len(events)} recorded span(s); most recent last:")
+    for event in events[-args.tail:]:
+        name = f"{event.get('cat')}:{event.get('name')}"
+        mark = " [raised]" if event.get("error") else ""
+        print(
+            f"  {event.get('ts_us', 0):>10.0f}us "
+            f"{name:<34} {event.get('dur_us', 0):>9.0f}us{mark}"
+        )
+    trace = error.get("traceback") or ""
+    if isinstance(trace, list):
+        trace = "".join(trace)
+    trace = trace.strip()
+    if trace and args.traceback:
+        print("traceback:")
+        for line in trace.splitlines():
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """``repro trace-diff A B``: attribute a wall-time delta to phases."""
+    import json
+
+    from .obs import format_trace_diff, trace_diff
+
+    try:
+        diff = trace_diff(args.baseline, args.fresh)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        raise GraphItError(f"trace-diff: {error}")
+    if args.format == "json":
+        print(json.dumps(diff, indent=2))
+    else:
+        print(format_trace_diff(diff, top=args.top))
+    return 0
+
+
 def _cmd_bench_check(args: argparse.Namespace) -> int:
     """Re-run the checked-in benchmarks and compare against their baselines.
 
@@ -518,6 +641,8 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
     rows: list[list[str]] = []
     failures: list[str] = []
+    # (bench, baseline record, fresh record) pairs for --attribute.
+    profiled: list[tuple[str, dict, dict]] = []
 
     def check_perf(bench: str, metric: str, base: float, fresh: float, tol: float):
         delta = fresh / base - 1.0 if base else float("inf")
@@ -546,9 +671,17 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             [bench, metric, str(base), str(fresh), "exact", "=", "ok" if ok else "FAIL"]
         )
         if not ok:
+            # Same shape as the perf failure line: metric, baseline,
+            # measured value, percent delta — everything needed to triage
+            # from the CI log alone.
+            drift = ""
+            if isinstance(base, (int, float)) and isinstance(
+                fresh, (int, float)
+            ) and base:
+                drift = f", delta {fresh / base - 1.0:+.1%}"
             failures.append(
                 f"{bench}: deterministic counter {metric} drifted "
-                f"(baseline {base}, fresh {fresh})"
+                f"(baseline {base}, fresh {fresh}{drift})"
             )
 
     out_dir = args.out_dir or tempfile.mkdtemp(prefix="bench-check-")
@@ -583,6 +716,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         print("bench-check: fresh bench-kernels run failed")
         return rc
     fresh_k = load(fresh_k_path)
+    profiled.append(("kernels", base_k, fresh_k))
     check_perf(
         "kernels", "speedup", base_k["speedup"], fresh_k["speedup"], tol_kernels
     )
@@ -609,6 +743,7 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
         print("bench-check: fresh bench-parallel run failed")
         return rc
     fresh_p = load(fresh_p_path)
+    profiled.append(("parallel", base_p, fresh_p))
     check_perf(
         "parallel",
         "speedup_vs_oracle",
@@ -739,6 +874,27 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             title="bench-check: fresh runs vs checked-in baselines",
         )
     )
+    if getattr(args, "attribute", False):
+        # Per-phase attribution of each benchmark's wall-time change,
+        # against the phase profile embedded in the baseline record.
+        from .obs import format_trace_diff, trace_diff
+
+        for bench, base_record, fresh_record in profiled:
+            print()
+            if "phase_profile" not in base_record:
+                print(
+                    f"bench-check: {bench} baseline has no embedded phase "
+                    "profile; re-generate the baseline to enable "
+                    "attribution"
+                )
+                continue
+            print(f"bench-check attribution ({bench}):")
+            print(
+                format_trace_diff(
+                    trace_diff(base_record, fresh_record), top=8
+                )
+            )
+
     if failures:
         print()
         for failure in failures:
@@ -860,6 +1016,14 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     vector_time = min(run_once(True)[0] for _ in range(args.repeats))
     speedup = scalar_time / vector_time if vector_time > 0 else float("inf")
 
+    # One extra traced run, outside the timed section, embeds a per-phase
+    # profile in the record so ``bench-check --attribute`` can say *which*
+    # phase moved when the speedup regresses.
+    from .obs import phase_profile, tracing
+
+    with tracing() as tracer:
+        run_once(True)
+
     record = {
         "benchmark": "apply_update_priority (SSSP relaxation, SparsePush, lazy)",
         "graph": {
@@ -881,6 +1045,7 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         "stats_identical": True,
         "relaxations": scalar_stats["relaxations"],
         "priority_updates": scalar_stats["priority_updates"],
+        "phase_profile": phase_profile(tracer.events),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -995,6 +1160,13 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
     speedup = oracle_time / parallel_time if parallel_time > 0 else float("inf")
     vs_serial = serial_time / parallel_time if parallel_time > 0 else float("inf")
 
+    # Traced run outside the timed section: embeds the per-phase profile
+    # ``bench-check --attribute`` diffs against the baseline's.
+    from .obs import phase_profile, tracing
+
+    with tracing() as tracer:
+        run_once(parallel_prog, True)
+
     summary = parallel_res.stats.parallel_summary()
     record = {
         "benchmark": (
@@ -1025,6 +1197,7 @@ def _cmd_bench_parallel(args: argparse.Namespace) -> int:
         "worker_busy_seconds": summary["worker_busy_time"],
         "outputs_identical": True,
         "stats_identical": True,
+        "phase_profile": phase_profile(tracer.events),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
@@ -1654,6 +1827,90 @@ def build_parser() -> argparse.ArgumentParser:
     _add_schedule_arguments(profile_parser)
     profile_parser.set_defaults(handler=_cmd_profile)
 
+    metrics_parser = commands.add_parser(
+        "metrics",
+        help="run a program and print the always-on metrics registry "
+        "(JSON or Prometheus text exposition)",
+    )
+    metrics_parser.add_argument(
+        "program", help=f"a .gt file or one of: {', '.join(sorted(ALL_PROGRAMS))}"
+    )
+    metrics_parser.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help="edge-list (.el) or .npz graph file; '-' or omitted for a "
+        "synthetic R-MAT (scale 10)",
+    )
+    metrics_parser.add_argument(
+        "args", nargs="*", help="extra argv for the program (default: '0')"
+    )
+    metrics_parser.add_argument(
+        "--format",
+        default="json",
+        choices=("json", "prom"),
+        help="json dumps the snapshot; prom emits Prometheus text "
+        "exposition format",
+    )
+    metrics_parser.add_argument(
+        "--out", default=None, help="write the metrics here instead of stdout"
+    )
+    metrics_parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="PATH",
+        help="also write the run's workload profile (frontier shape, "
+        "bucket occupancy, redundant-update ratio) as JSON",
+    )
+    _add_schedule_arguments(metrics_parser)
+    metrics_parser.set_defaults(handler=_cmd_metrics)
+
+    last_run_parser = commands.add_parser(
+        "last-run",
+        help="inspect the flight recorder forensics dump from the most "
+        "recent failed invocation",
+    )
+    last_run_parser.add_argument(
+        "--path",
+        default=None,
+        help="forensics file (default: $REPRO_STATE_DIR or "
+        ".repro/last_run.json)",
+    )
+    last_run_parser.add_argument(
+        "--raw", action="store_true", help="print the raw JSON document"
+    )
+    last_run_parser.add_argument(
+        "--tail",
+        type=int,
+        default=20,
+        help="recorded spans to show (default 20)",
+    )
+    last_run_parser.add_argument(
+        "--traceback",
+        action="store_true",
+        help="also print the recorded Python traceback",
+    )
+    last_run_parser.set_defaults(handler=_cmd_last_run)
+
+    diff_parser = commands.add_parser(
+        "trace-diff",
+        help="attribute the wall-time delta between two runs to phases "
+        "(inputs: chrome traces, phase profiles, or bench records)",
+    )
+    diff_parser.add_argument(
+        "baseline", help="baseline artifact (trace/profile/bench JSON)"
+    )
+    diff_parser.add_argument(
+        "fresh", help="fresh artifact to attribute against the baseline"
+    )
+    diff_parser.add_argument(
+        "--top", type=int, default=10, help="phases to print (default 10)"
+    )
+    diff_parser.add_argument(
+        "--format", default="text", choices=("text", "json")
+    )
+    diff_parser.set_defaults(handler=_cmd_trace_diff)
+
     check_parser = commands.add_parser(
         "bench-check",
         help="re-run both benchmarks and fail on regressions vs the "
@@ -1721,6 +1978,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the fresh bench JSON (default: a temp dir)",
     )
+    check_parser.add_argument(
+        "--attribute",
+        action="store_true",
+        help="print a per-phase trace-diff of each benchmark against the "
+        "phase profile embedded in its baseline record",
+    )
     check_parser.set_defaults(handler=_cmd_bench_check)
 
     return parser
@@ -1729,8 +1992,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    effective_argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.handler(args)
     except GraphItError as error:
+        _dump_forensics_quietly(error, effective_argv)
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except Exception as error:
+        # Unexpected crash: preserve the traceback for the caller, but
+        # dump the flight recorder first so `repro last-run` has the
+        # spans leading up to it.
+        _dump_forensics_quietly(error, effective_argv)
+        raise
+
+
+def _dump_forensics_quietly(error: BaseException, argv: list[str]) -> None:
+    """Write the flight-recorder dump, never masking the original error."""
+    from .obs import dump_forensics
+
+    path = dump_forensics(error, argv=argv)
+    if path is not None:
+        print(
+            f"forensics written to {path} (inspect with `repro last-run`)",
+            file=sys.stderr,
+        )

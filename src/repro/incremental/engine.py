@@ -55,7 +55,7 @@ from ..errors import GraphError, SchedulingError
 from ..graph.csr import CSRGraph
 from ..graph.mutations import Mutation
 from ..midend.schedule import Schedule
-from ..obs import span
+from ..obs import metrics, span
 from ..runtime.stats import RuntimeStats
 
 __all__ = ["INCREMENTAL_ALGORITHMS", "IncrementalResult", "IncrementalSession"]
@@ -64,6 +64,10 @@ INCREMENTAL_ALGORITHMS = ("sssp", "wbfs", "widest_path", "kcore")
 
 _MIN_KIND = "min"
 _MAX_KIND = "max"
+
+_BATCHES = metrics.counter("incremental.batches")
+_SEEDS = metrics.histogram("incremental.seeds")
+_INVALIDATED = metrics.histogram("incremental.invalidated")
 
 
 @dataclass
@@ -392,6 +396,9 @@ class IncrementalSession:
                 )
 
         touched = cone | seeds_mask | (vals != pre_values)
+        _BATCHES.inc()
+        _SEEDS.observe(seeds.size)
+        _INVALIDATED.observe(cone_vertices.size)
         stats.incremental_runs += 1
         stats.incremental_mutations += len(mutations)
         stats.incremental_seeds += int(seeds.size)

@@ -37,7 +37,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..graph.mutations import Mutation, apply_mutations
 from ..midend.schedule import Schedule
-from ..obs import span
+from ..obs import metrics, span
 from ..runtime.stats import RuntimeStats
 
 __all__ = ["initial_coreness", "apply_kcore_batch"]
@@ -155,9 +155,13 @@ def apply_kcore_batch(session, mutations: list[Mutation]):
                 invalidated_total += len({u, v})
             seeds_total += len(worklist)
             _local_fixpoint(graph, s, worklist, touched)
+            metrics.counter("incremental.kcore_fixpoints").inc()
             touched |= s != core
             core[:] = s
 
+    metrics.counter("incremental.batches").inc()
+    metrics.histogram("incremental.seeds").observe(seeds_total)
+    metrics.histogram("incremental.invalidated").observe(invalidated_total)
     stats = RuntimeStats(num_threads=session.schedule.num_threads)
     stats.execution = session.schedule.execution
     stats.incremental_runs += 1

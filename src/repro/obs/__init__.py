@@ -15,17 +15,36 @@ Entry points:
 - ``repro trace <prog> --out trace.json`` — run under the tracer, write a
   Perfetto-loadable trace;
 - ``repro profile <prog>`` — same run, print the hot-phase table;
+- ``repro metrics <prog>`` — run once and print the always-on metrics
+  registry (JSON or Prometheus text exposition);
+- ``repro last-run`` — inspect the crash flight recorder's forensics dump;
+- ``repro trace-diff A B`` — attribute a wall-time delta between two runs
+  to compiler/runtime phases;
 - :func:`tracing` / :func:`span` — the library API the hook sites use;
-- :mod:`repro.obs.events` — the event schema and its validator.
+- :mod:`repro.obs.metrics` — always-on counters/gauges/histograms with
+  per-worker shards merged deterministically at round barriers;
+- :mod:`repro.obs.flight` — the bounded flight recorder behind the
+  forensics dump;
+- :mod:`repro.obs.events` — the event schema, the span/metric name
+  registry, and their validators.
 
 Tracing never mutates algorithm state: a traced run computes bit-identical
 results and deterministic statistics to an untraced run (asserted by
 ``tests/test_tracing.py``).
 """
 
+from . import metrics
+from .diff import (
+    format_trace_diff,
+    load_profile_document,
+    phase_profile,
+    trace_diff,
+)
 from .events import (
     CATEGORIES,
+    METRICS,
     PHASES,
+    SPAN_NAMES,
     assert_valid_chrome_trace,
     validate_chrome_trace,
     validate_event,
@@ -38,6 +57,25 @@ from .exporters import (
     self_profile,
     write_chrome_trace,
 )
+from .flight import (
+    FlightRecorder,
+    dump_forensics,
+    flight_enabled,
+    get_recorder,
+    last_run_path,
+    note_run,
+    set_recorder,
+)
+from .metrics import (
+    MetricsRegistry,
+    deterministic_snapshot,
+    merge_shards,
+    metrics_enabled,
+    prometheus_text,
+    reset_metrics,
+    snapshot,
+)
+from .workload import workload_profile, write_workload_profile
 from .tracer import (
     Tracer,
     activate,
@@ -62,6 +100,8 @@ __all__ = [
     "counter",
     "CATEGORIES",
     "PHASES",
+    "SPAN_NAMES",
+    "METRICS",
     "validate_event",
     "validate_chrome_trace",
     "assert_valid_chrome_trace",
@@ -71,4 +111,25 @@ __all__ = [
     "ProfileRow",
     "self_profile",
     "format_profile",
+    "metrics",
+    "MetricsRegistry",
+    "metrics_enabled",
+    "merge_shards",
+    "reset_metrics",
+    "snapshot",
+    "deterministic_snapshot",
+    "prometheus_text",
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+    "flight_enabled",
+    "note_run",
+    "dump_forensics",
+    "last_run_path",
+    "workload_profile",
+    "write_workload_profile",
+    "phase_profile",
+    "load_profile_document",
+    "trace_diff",
+    "format_trace_diff",
 ]

@@ -34,6 +34,9 @@ from typing import Any
 __all__ = [
     "CATEGORIES",
     "PHASES",
+    "SPAN_NAMES",
+    "METRIC_KINDS",
+    "METRICS",
     "validate_event",
     "validate_chrome_trace",
     "assert_valid_chrome_trace",
@@ -56,6 +59,123 @@ CATEGORIES = frozenset(
 
 # Event phases this tracer emits.
 PHASES = frozenset({"X", "i", "C", "M"})
+
+# ---------------------------------------------------------------------------
+# Name registries
+# ---------------------------------------------------------------------------
+# Every span/instant name the tracer, flight recorder, or any hook site may
+# emit, mapped to the category it belongs to.  A name not in this table is a
+# typo: ``tests/test_name_registry.py`` scans the source tree for literal
+# hook-site names and fails on anything undeclared, so a misspelled span
+# name breaks CI instead of silently fragmenting the profile.
+SPAN_NAMES: dict[str, str] = {
+    # compiler: frontend, midend passes, codegen, module loading
+    "compile": "compiler",
+    "lex": "compiler",
+    "parse": "compiler",
+    "typecheck": "compiler",
+    "midend": "compiler",
+    "midend.validate_ir": "compiler",
+    "midend.recognize_loop": "compiler",
+    "midend.resolve_schedule": "compiler",
+    "midend.effects": "compiler",
+    "midend.dependence": "compiler",
+    "midend.races": "compiler",
+    "midend.constant_sum": "compiler",
+    "midend.histogram_transform": "compiler",
+    "midend.incremental_eligibility": "compiler",
+    "midend.vectorize": "compiler",
+    "codegen.python": "compiler",
+    "codegen.cpp": "compiler",
+    "load_module": "compiler",
+    # runtime: program entry and the apply operators
+    "program.run": "runtime",
+    "apply.push": "runtime",
+    "apply.pull": "runtime",
+    "apply.edges": "runtime",
+    "apply.histogram": "runtime",
+    "ordered_process_eager": "runtime",
+    "eager.round": "runtime",
+    "eager.fused_run": "runtime",
+    # bucket: queue-structure events
+    "bucket.advance": "bucket",
+    "bucket.reduce": "bucket",
+    "bucket.rebucket_overflow": "bucket",
+    "bucket.dequeue_chunk": "bucket",
+    "bucket.window_advance": "bucket",
+    # parallel: produce/barrier/commit round protocol
+    "worker.produce": "parallel",
+    "barrier.wait": "parallel",
+    "commit": "parallel",
+    "commit.replay": "parallel",
+    # native: toolchain probe, codegen, build/cache, ctypes dispatch
+    "native.toolchain": "native",
+    "native.codegen": "native",
+    "native.compile": "native",
+    "native.load": "native",
+    "native.dispatch": "native",
+    "native.execute": "native",
+    # incremental: mutation resume pipeline
+    "incremental.classify": "incremental",
+    "incremental.invalidate": "incremental",
+    "incremental.recompute": "incremental",
+    "incremental.resume": "incremental",
+    "incremental.kcore": "incremental",
+    # harness / meta
+    "cell.run": "harness",
+    "thread_name": "meta",
+}
+
+# Metric kinds the registry implements (obs/metrics.py).
+METRIC_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+# Every metric the always-on registry may carry.  ``wallclock: True`` marks
+# metrics derived from clock reads — inherently nondeterministic, excluded
+# from ``deterministic_snapshot`` (mirroring WALL_CLOCK_FIELDS on
+# RuntimeStats).  The registry constructor refuses undeclared names, so a
+# typo at a hook site raises immediately instead of minting a ghost series.
+METRICS: dict[str, dict] = {
+    # bucket runtimes
+    "bucket.dequeues": {"kind": "counter", "cat": "bucket"},
+    "bucket.frontier_size": {"kind": "histogram", "cat": "bucket"},
+    "bucket.occupancy": {"kind": "histogram", "cat": "bucket"},
+    "bucket.rebucket_overflows": {"kind": "counter", "cat": "bucket"},
+    "bucket.reduce_batches": {"kind": "counter", "cat": "bucket"},
+    "bucket.window_advances": {"kind": "counter", "cat": "bucket"},
+    "bucket.delta": {"kind": "gauge", "cat": "bucket"},
+    # apply operators
+    "apply.calls": {"kind": "counter", "cat": "runtime"},
+    "apply.vectorized_calls": {"kind": "counter", "cat": "runtime"},
+    "apply.scalar_calls": {"kind": "counter", "cat": "runtime"},
+    "apply.frontier_size": {"kind": "histogram", "cat": "runtime"},
+    "runs.completed": {"kind": "counter", "cat": "runtime"},
+    "runs.failed": {"kind": "counter", "cat": "runtime"},
+    # parallel engine
+    "parallel.rounds": {"kind": "counter", "cat": "parallel"},
+    "parallel.chunk_size": {"kind": "histogram", "cat": "parallel"},
+    "parallel.workers": {"kind": "gauge", "cat": "parallel"},
+    "parallel.shard_merges": {"kind": "counter", "cat": "parallel"},
+    "parallel.barrier_wait_us": {
+        "kind": "histogram", "cat": "parallel", "wallclock": True,
+    },
+    # native path
+    "native.toolchain_probes": {"kind": "counter", "cat": "native"},
+    "native.cache_hits": {"kind": "counter", "cat": "native"},
+    "native.cache_misses": {"kind": "counter", "cat": "native"},
+    "native.builds": {"kind": "counter", "cat": "native"},
+    "native.executions": {"kind": "counter", "cat": "native"},
+    "native.compile_us": {
+        "kind": "histogram", "cat": "native", "wallclock": True,
+    },
+    "native.execute_us": {
+        "kind": "histogram", "cat": "native", "wallclock": True,
+    },
+    # incremental engine
+    "incremental.batches": {"kind": "counter", "cat": "incremental"},
+    "incremental.seeds": {"kind": "histogram", "cat": "incremental"},
+    "incremental.invalidated": {"kind": "histogram", "cat": "incremental"},
+    "incremental.kcore_fixpoints": {"kind": "counter", "cat": "incremental"},
+}
 
 _REQUIRED = ("name", "cat", "ph", "ts", "pid", "tid")
 

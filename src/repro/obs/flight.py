@@ -1,0 +1,239 @@
+"""Crash flight recorder: the last N spans, kept even when tracing is off.
+
+When something blows up in production there is no tracer running — the
+tracer is opt-in per run.  The flight recorder closes that gap: a bounded
+ring buffer (``collections.deque(maxlen=...)``) of the most recent spans and
+instants, fed by the same hook sites the tracer uses (the module-level
+``obs.span``/``instant`` functions route here whenever no tracer is active).
+Being bounded, it costs O(1) memory no matter how long the process runs; a
+span records one clock pair and one dict append.
+
+On an escaping error the CLI calls :func:`dump_forensics`, which writes the
+ring, the exception (type, message, traceback), the run context noted so far
+(program, graph, schedule), and a metrics snapshot to
+``.repro/last_run.json`` (or ``$REPRO_STATE_DIR/last_run.json``).
+``repro last-run`` pretty-prints that file — the post-mortem you read after
+the crash, not the trace you forgot to enable before it.
+
+``REPRO_FLIGHT=0`` disables the recorder entirely (the module-level hooks
+then return the shared null span, restoring the strict PR-4
+zero-overhead-when-off behaviour).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback as traceback_module
+from collections import deque
+from typing import Any
+
+from . import metrics
+
+__all__ = [
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+    "flight_enabled",
+    "state_dir",
+    "last_run_path",
+    "dump_forensics",
+    "note_run",
+]
+
+DEFAULT_CAPACITY = 512
+
+#: Bumped when the forensics document shape changes.
+FORENSICS_SCHEMA = 1
+
+
+class _FlightSpan:
+    """Context manager recording one ring entry on exit.
+
+    Mirrors the tracer's span contract: ``__enter__`` yields the args dict
+    so hook sites can add late args (``sp["frontier"] = ...``), and an
+    exception escaping the body is recorded (type name) without being
+    swallowed.
+    """
+
+    __slots__ = ("_recorder", "_name", "_cat", "_args", "_start")
+
+    def __init__(self, recorder: "FlightRecorder", name: str, cat: str, args: dict):
+        self._recorder = recorder
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> dict:
+        self._start = time.perf_counter()
+        return self._args
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        entry = {
+            "name": self._name,
+            "cat": self._cat,
+            "ph": "X",
+            "ts_us": (self._start - self._recorder.origin) * 1e6,
+            "dur_us": (end - self._start) * 1e6,
+            "thread": threading.current_thread().name,
+            "args": _jsonable(self._args),
+        }
+        if exc_type is not None:
+            entry["error"] = exc_type.__name__
+        self._recorder.record(entry)
+        return False
+
+
+def _jsonable(value: Any):
+    """Best-effort JSON coercion for span args (numpy ints, paths, ...)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    try:
+        return int(value)  # numpy integer scalars
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+class FlightRecorder:
+    """Bounded ring of recent spans/instants plus noted run context."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = int(capacity)
+        # deque.append is atomic under the GIL; no lock on the hot path.
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._context: dict = {}
+        self.origin = time.perf_counter()
+        self.recorded = 0
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, cat: str, **args: Any) -> _FlightSpan:
+        return _FlightSpan(self, name, cat, dict(args))
+
+    def instant(self, name: str, cat: str, **args: Any) -> None:
+        self.record(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "ts_us": (time.perf_counter() - self.origin) * 1e6,
+                "thread": threading.current_thread().name,
+                "args": _jsonable(dict(args)),
+            }
+        )
+
+    def record(self, entry: dict) -> None:
+        self._ring.append(entry)
+        self.recorded += 1
+
+    def note(self, **context: Any) -> None:
+        """Attach run context (program, graph, schedule) to future dumps."""
+        self._context.update(_jsonable(context))
+
+    # -- inspection ------------------------------------------------------
+
+    def events(self) -> list[dict]:
+        return list(self._ring)
+
+    def context(self) -> dict:
+        return dict(self._context)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._context.clear()
+        self.recorded = 0
+
+
+# ---------------------------------------------------------------------------
+# Module-level recorder (on by default; REPRO_FLIGHT=0 disables)
+# ---------------------------------------------------------------------------
+
+_RECORDER: FlightRecorder | None = (
+    FlightRecorder() if os.environ.get("REPRO_FLIGHT", "1") != "0" else None
+)
+
+
+def get_recorder() -> FlightRecorder | None:
+    """The active flight recorder, or None when disabled."""
+    return _RECORDER
+
+
+def set_recorder(recorder: FlightRecorder | None) -> FlightRecorder | None:
+    """Install (or, with None, disable) the recorder; returns the old one."""
+    global _RECORDER
+    old = _RECORDER
+    _RECORDER = recorder
+    return old
+
+
+def flight_enabled() -> bool:
+    return _RECORDER is not None
+
+
+def note_run(**context: Any) -> None:
+    """Note run context on the active recorder (no-op when disabled)."""
+    if _RECORDER is not None:
+        _RECORDER.note(**context)
+
+
+# ---------------------------------------------------------------------------
+# Forensics dump
+# ---------------------------------------------------------------------------
+
+
+def state_dir() -> str:
+    """Where run state lands: ``$REPRO_STATE_DIR`` or ``.repro/``."""
+    return os.environ.get("REPRO_STATE_DIR") or ".repro"
+
+
+def last_run_path() -> str:
+    return os.path.join(state_dir(), "last_run.json")
+
+
+def dump_forensics(
+    error: BaseException, argv: list[str] | None = None
+) -> str | None:
+    """Write the forensics document for ``error``; returns its path.
+
+    Returns None when the recorder is disabled (``REPRO_FLIGHT=0``) — no
+    ring means no post-mortem.  Never raises: a failing dump must not mask
+    the original error, so filesystem problems are swallowed.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return None
+    document = {
+        "schema": FORENSICS_SCHEMA,
+        "written_at": time.time(),
+        "argv": list(argv) if argv is not None else None,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": "".join(
+                traceback_module.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            ),
+        },
+        "context": recorder.context(),
+        "events": recorder.events(),
+        "metrics": metrics.snapshot(),
+    }
+    path = last_run_path()
+    try:
+        os.makedirs(state_dir(), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        return None
+    return path

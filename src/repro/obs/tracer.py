@@ -44,6 +44,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from . import flight
+
 __all__ = [
     "Tracer",
     "span",
@@ -256,27 +258,46 @@ def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
 
 
 def span(name: str, cat: str, **args: Any):
-    """Module-level span hook — a shared no-op when tracing is off."""
+    """Module-level span hook.
+
+    Routes to the active tracer when tracing is on; otherwise to the crash
+    flight recorder's bounded ring (so the last N spans survive for the
+    post-mortem even on untraced runs); otherwise (``REPRO_FLIGHT=0``) to
+    the shared no-op span — the strict zero-overhead-when-off path.
+    """
     tracer = _ACTIVE
-    if tracer is None:
-        return _NULL_SPAN
-    return tracer.span(name, cat, **args)
+    if tracer is not None:
+        return tracer.span(name, cat, **args)
+    recorder = flight.get_recorder()
+    if recorder is not None:
+        return recorder.span(name, cat, **args)
+    return _NULL_SPAN
 
 
 def stat_span(name: str, cat: str, stats: Any, **args: Any):
     """Like :func:`span`, additionally logging into ``stats.phase_timings``
-    (only when tracing is on; stat dumps are untouched otherwise)."""
+    when tracing is on.  With only the flight recorder active the span lands
+    in the ring but ``stats`` is untouched, so ``phase_timings`` stays empty
+    and untraced stat dumps remain bit-identical."""
     tracer = _ACTIVE
-    if tracer is None:
-        return _NULL_SPAN
-    return tracer.stat_span(name, cat, stats, **args)
+    if tracer is not None:
+        return tracer.stat_span(name, cat, stats, **args)
+    recorder = flight.get_recorder()
+    if recorder is not None:
+        return recorder.span(name, cat, **args)
+    return _NULL_SPAN
 
 
 def instant(name: str, cat: str, **args: Any) -> None:
-    """Module-level instant-event hook (no-op when tracing is off)."""
+    """Module-level instant-event hook (rings the flight recorder when
+    tracing is off)."""
     tracer = _ACTIVE
     if tracer is not None:
         tracer.instant(name, cat, **args)
+        return
+    recorder = flight.get_recorder()
+    if recorder is not None:
+        recorder.instant(name, cat, **args)
 
 
 def counter(name: str, cat: str, **values: float) -> None:

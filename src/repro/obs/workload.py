@@ -1,0 +1,159 @@
+"""Workload profiles: the paper's crossover axes as one JSON document.
+
+The paper's central empirical claim is that no single bucket strategy wins
+everywhere — lazy buffering pays off when frontiers are large and updates
+redundant, eager bins when frontiers are small, bucket fusion when many
+tiny buckets follow each other.  Choosing a schedule therefore needs the
+*workload shape*, not just a wall-clock number.  :func:`workload_profile`
+distills one run into exactly those axes:
+
+- frontier size per round and its distribution (large-frontier rounds are
+  where DensePull and lazy buffering win);
+- open-bucket occupancy per round (many simultaneously-open buckets favor
+  a larger Δ; an occupancy that stays at 1 means Δ already covers the
+  priority range);
+- redundant-update ratio — the fraction of buffered priority updates that
+  deduplication discarded (the quantity lazy buffering exists to absorb);
+- update efficiency — relaxations per priority update actually applied;
+- Δ-bucket statistics (configured Δ, bucket inserts, buffer traffic);
+- work imbalance — critical-path work over ideal per-thread work (the
+  barrier cost the paper's load-balancing flags target).
+
+The document is schema-versioned and fully deterministic for serial runs
+(every input comes from ``RuntimeStats`` deterministic counters or the
+schedule), so it can be stored next to benchmark baselines and diffed.
+``repro metrics --workload`` writes it; autotuner v2 is the intended
+consumer.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "WORKLOAD_SCHEMA",
+    "workload_profile",
+    "write_workload_profile",
+]
+
+WORKLOAD_SCHEMA = 1
+
+
+def _series_summary(values: list[int]) -> dict:
+    """Order statistics for a per-round series (empty-safe)."""
+    if not values:
+        return {"count": 0, "min": 0, "max": 0, "mean": 0.0, "median": 0}
+    ordered = sorted(values)
+    return {
+        "count": len(values),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": sum(values) / len(values),
+        "median": ordered[len(ordered) // 2],
+    }
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return float(numerator) / float(denominator) if denominator else 0.0
+
+
+def workload_profile(
+    stats,
+    schedule=None,
+    graph=None,
+    metrics_snapshot: dict | None = None,
+) -> dict:
+    """The crossover-axis profile of one run as a JSON-safe dict.
+
+    ``stats`` is the run's :class:`~repro.runtime.stats.RuntimeStats`;
+    ``schedule`` and ``graph`` add the configuration and graph-shape
+    context when available; ``metrics_snapshot`` (from
+    :func:`repro.obs.metrics.snapshot`) is embedded verbatim so one file
+    carries both the per-run counters and the process-wide registry.
+    """
+    frontier = list(stats.frontier_per_round)
+    occupancy = list(stats.bucket_occupancy_per_round)
+
+    profile: dict = {
+        "schema": WORKLOAD_SCHEMA,
+        "schedule": None,
+        "graph": None,
+        "rounds": {
+            "rounds": stats.rounds,
+            "fused_rounds": stats.fused_rounds,
+            "global_syncs": stats.global_syncs,
+            "fused_fraction": _ratio(stats.fused_rounds, stats.rounds),
+        },
+        "frontier": {
+            "per_round": frontier,
+            "summary": _series_summary(frontier),
+        },
+        "bucket_occupancy": {
+            "per_round": occupancy,
+            "summary": _series_summary(occupancy),
+        },
+        "updates": {
+            "relaxations": stats.relaxations,
+            "priority_updates": stats.priority_updates,
+            "buffer_appends": stats.buffer_appends,
+            "buffer_reductions": stats.buffer_reductions,
+            "dedup_hits": stats.dedup_hits,
+            # The lazy-vs-eager axis: how much buffered traffic was
+            # redundant.  0 for eager runs (nothing buffered).
+            "redundant_update_ratio": _ratio(
+                stats.dedup_hits, stats.buffer_appends
+            ),
+            # How many edge relaxations each applied priority update cost.
+            "update_efficiency": _ratio(
+                stats.priority_updates, stats.relaxations
+            ),
+        },
+        "delta_buckets": {
+            "delta": schedule.delta if schedule is not None else None,
+            "bucket_inserts": stats.bucket_inserts,
+            "histogram_updates": stats.histogram_updates,
+            "inserts_per_round": _ratio(stats.bucket_inserts, stats.rounds),
+        },
+        "work": {
+            "total_work": stats.total_work,
+            "critical_path_work": stats.critical_path_work,
+            "vertices_processed": stats.vertices_processed,
+            # critical-path work over perfectly-balanced work: 1.0 is
+            # ideal, num_threads is fully serial.
+            "imbalance": _ratio(
+                stats.critical_path_work * stats.num_threads,
+                stats.total_work,
+            ),
+            "atomic_ops": stats.atomic_ops,
+        },
+        "metrics": metrics_snapshot,
+    }
+
+    if schedule is not None:
+        profile["schedule"] = {
+            "priority_update": schedule.priority_update,
+            "delta": schedule.delta,
+            "bucket_fusion_threshold": schedule.bucket_fusion_threshold,
+            "num_buckets": schedule.num_buckets,
+            "direction": schedule.direction,
+            "parallelization": schedule.parallelization,
+            "num_threads": schedule.num_threads,
+            "chunk_size": schedule.chunk_size,
+            "execution": schedule.execution,
+        }
+    if graph is not None:
+        degrees = graph.out_degrees()
+        profile["graph"] = {
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+            "avg_degree": _ratio(graph.num_edges, graph.num_vertices),
+            "max_degree": int(degrees.max()) if degrees.size else 0,
+        }
+    return profile
+
+
+def write_workload_profile(path: str, profile: dict) -> None:
+    """Write ``profile`` as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile, handle, indent=2, sort_keys=False)
+        handle.write("\n")

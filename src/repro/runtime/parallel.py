@@ -54,9 +54,16 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..errors import SchedulingError
+from ..obs import metrics
 from ..obs import span as trace_span
 
 __all__ = ["ParallelExecutionEngine", "EXECUTION_MODES", "shutdown_executors"]
+
+_ROUNDS = metrics.counter("parallel.rounds")
+_CHUNK_SIZE = metrics.histogram("parallel.chunk_size")
+_WORKERS = metrics.gauge("parallel.workers")
+_SHARD_MERGES = metrics.counter("parallel.shard_merges")
+_BARRIER_WAIT_US = metrics.histogram("parallel.barrier_wait_us")
 
 # "native" dispatches to a compiled shared-library kernel before the Python
 # runtime is entered; if that falls through (no toolchain — N101) the Python
@@ -141,9 +148,25 @@ class ParallelExecutionEngine:
     def is_parallel(self) -> bool:
         return self.mode == "parallel" and self.num_workers > 1
 
-    def _record(self, worker_times: dict[int, float], barrier_wait: float) -> None:
+    def _record(
+        self,
+        worker_times: dict[int, float],
+        barrier_wait: float,
+        chunks: Sequence[np.ndarray],
+    ) -> None:
         if self.stats is not None:
             self.stats.record_parallel_round(worker_times, barrier_wait)
+        _ROUNDS.inc()
+        _WORKERS.set(self.num_workers)
+        _BARRIER_WAIT_US.observe(int(barrier_wait * 1e6))
+        for chunk in chunks:
+            if len(chunk):
+                _CHUNK_SIZE.observe(len(chunk))
+        # The round barrier is the natural merge point for the per-worker
+        # metric shards: every worker is quiescent here, and the merges are
+        # commutative sums, so the merged registry state is deterministic.
+        _SHARD_MERGES.inc()
+        metrics.merge_shards()
 
     # -- round execution -------------------------------------------------
 
@@ -213,7 +236,7 @@ class ParallelExecutionEngine:
                 payload, elapsed = fut.result()
                 worker_times[tid] = worker_times.get(tid, 0.0) + elapsed
                 commit(chunk, tid, payload)
-        self._record(worker_times, barrier_wait)
+        self._record(worker_times, barrier_wait, chunks)
 
     def _run_round_unordered(
         self, chunks: Sequence[np.ndarray], produce: Produce, commit: Commit
@@ -252,4 +275,4 @@ class ParallelExecutionEngine:
             for fut in done:
                 fut.result()  # propagate worker exceptions
         barrier_wait = time.perf_counter() - barrier_start
-        self._record(worker_times, barrier_wait)
+        self._record(worker_times, barrier_wait, chunks)

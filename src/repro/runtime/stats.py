@@ -104,6 +104,15 @@ class RuntimeStats:
     incremental_vertices_touched: int = 0
     max_work_per_round: list[int] = field(default_factory=list)
     total_work_per_round: list[int] = field(default_factory=list)
+    # --- workload telemetry (crossover axes) --------------------------
+    # Frontier size and open-bucket occupancy recorded at each lazy/eager
+    # ``dequeue_ready_set`` — the per-round shape of the traversal, the
+    # axes the paper says drive the lazy/eager/fusion crossover.  Both are
+    # appended only at coordinator-driven dequeues (deterministic under
+    # the parallel engine, like ``vertices_processed``); the relaxed queue
+    # skips them (its chunk order is scheduling-dependent by design).
+    frontier_per_round: list[int] = field(default_factory=list)
+    bucket_occupancy_per_round: list[int] = field(default_factory=list)
     # --- real-parallel observables (PR 3) -----------------------------
     # All of these stay at their defaults under ``execution=serial`` so
     # serial stat dumps remain byte-identical across releases (the
@@ -288,6 +297,8 @@ class RuntimeStats:
         self.incremental_vertices_touched += other.incremental_vertices_touched
         self.max_work_per_round.extend(other.max_work_per_round)
         self.total_work_per_round.extend(other.total_work_per_round)
+        self.frontier_per_round.extend(other.frontier_per_round)
+        self.bucket_occupancy_per_round.extend(other.bucket_occupancy_per_round)
         self.parallel_rounds += other.parallel_rounds
         self.barrier_waits += other.barrier_waits
         self.barrier_wait_time += other.barrier_wait_time

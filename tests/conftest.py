@@ -8,6 +8,17 @@ import pytest
 from repro.graph import from_edges, rmat, road_grid
 
 
+@pytest.fixture(autouse=True)
+def _isolated_state_dir(tmp_path, monkeypatch):
+    """Route flight-recorder forensics dumps into the test's tmp dir.
+
+    Failure-path tests exercise ``repro.cli.main`` error handling, which
+    dumps ``$REPRO_STATE_DIR/last_run.json`` — without this, those dumps
+    would land in a ``.repro/`` directory inside the repository.
+    """
+    monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path / ".repro"))
+
+
 @pytest.fixture
 def diamond_graph():
     """A 5-vertex weighted DAG with two competing paths.

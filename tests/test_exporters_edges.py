@@ -1,0 +1,177 @@
+"""Edge cases of :mod:`repro.obs.exporters`: empty traces, unfinished and
+zero-duration nested spans, multi-thread interleaving.
+
+The exporters are the substrate both ``repro profile`` and the new
+``trace-diff`` attribution stand on, so their behaviour at the margins —
+no events at all, spans still open when the tracer deactivates, identical
+timestamps across threads — must be pinned, not assumed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    chrome_trace,
+    format_profile,
+    load_chrome_trace,
+    self_profile,
+    write_chrome_trace,
+)
+
+
+def span(name, cat, ts, dur, tid=1):
+    return {
+        "name": name,
+        "cat": cat,
+        "ph": "X",
+        "ts": float(ts),
+        "dur": float(dur),
+        "pid": 1,
+        "tid": tid,
+        "args": {},
+    }
+
+
+class TestEmptyTrace:
+    def test_chrome_trace_of_no_events_is_valid(self):
+        payload = chrome_trace([])
+        assert payload["traceEvents"] == []
+        obs.assert_valid_chrome_trace(payload)
+
+    def test_empty_trace_round_trips_through_disk(self, tmp_path):
+        path = tmp_path / "empty.json"
+        write_chrome_trace(str(path), [])
+        assert load_chrome_trace(str(path))["traceEvents"] == []
+
+    def test_self_profile_of_nothing(self):
+        assert self_profile([]) == []
+        # The formatter must not blow up on an empty table.
+        assert isinstance(format_profile([]), str)
+
+    def test_tracer_with_no_spans_exports_cleanly(self):
+        with obs.tracing() as tracer:
+            pass
+        payload = chrome_trace(tracer)
+        # Only metadata events (thread names), no spans.
+        assert all(e["ph"] != "X" for e in payload["traceEvents"])
+        assert self_profile(tracer.events) == []
+
+
+class TestUnfinishedAndNestedSpans:
+    def test_unfinished_span_emits_no_event(self):
+        """A span still open at deactivate contributes nothing — the
+        exporter sees only completed ``ph: X`` events."""
+        with obs.tracing() as tracer:
+            cm = obs.span("compile", "compiler")
+            cm.__enter__()  # never exited
+        names = [e["name"] for e in tracer.events if e.get("ph") == "X"]
+        assert "compile" not in names
+        assert self_profile(tracer.events) == []
+
+    def test_zero_duration_child_does_not_corrupt_self_time(self):
+        events = [
+            span("outer", "runtime", 0, 100),
+            span("inner", "runtime", 50, 0),
+        ]
+        rows = {r.name: r for r in self_profile(events)}
+        assert rows["outer"].self_us == pytest.approx(100)
+        assert rows["inner"].self_us == pytest.approx(0)
+        assert rows["inner"].count == 1
+
+    def test_deep_nesting_attributes_each_level_once(self):
+        events = [
+            span("a", "runtime", 0, 100),
+            span("b", "runtime", 10, 80),
+            span("c", "runtime", 20, 60),
+        ]
+        rows = {r.name: r for r in self_profile(events)}
+        assert rows["a"].self_us == pytest.approx(20)
+        assert rows["b"].self_us == pytest.approx(20)
+        assert rows["c"].self_us == pytest.approx(60)
+        total_self = sum(r.self_us for r in rows.values())
+        assert total_self == pytest.approx(100)  # no double counting
+
+    def test_siblings_at_identical_timestamps(self):
+        """Parent and first child starting at the same ts: the longest
+        span is treated as enclosing (the tie-break the sweep relies on)."""
+        events = [
+            span("child", "runtime", 0, 40),
+            span("parent", "runtime", 0, 100),
+        ]
+        rows = {r.name: r for r in self_profile(events)}
+        assert rows["parent"].self_us == pytest.approx(60)
+        assert rows["child"].self_us == pytest.approx(40)
+
+
+class TestMultiThreadInterleaving:
+    def test_overlapping_spans_on_different_threads_independent(self):
+        """Nesting is per-thread: overlapping intervals on different tids
+        must NOT subtract from each other's self time."""
+        events = [
+            span("worker.produce", "parallel", 0, 100, tid=1),
+            span("worker.produce", "parallel", 50, 100, tid=2),
+            span("apply.push", "runtime", 60, 20, tid=2),
+        ]
+        rows = {r.name: r for r in self_profile(events)}
+        # tid=1's span is untouched by tid=2's overlap; only tid=2's own
+        # child subtracts.
+        assert rows["worker.produce"].total_us == pytest.approx(200)
+        assert rows["worker.produce"].self_us == pytest.approx(180)
+        assert rows["worker.produce"].count == 2
+
+    def test_real_parallel_trace_has_consistent_thread_nesting(self):
+        """Spans recorded by real worker threads nest strictly per thread
+        (the invariant the interval sweep needs)."""
+        import numpy as np
+
+        from repro import Schedule, compile_program
+        from repro.graph.generators import rmat
+        from repro.lang.programs import ALL_PROGRAMS
+
+        graph = rmat(9, 8, seed=5, weights=(1, 4))
+        program = compile_program(
+            ALL_PROGRAMS["sssp"],
+            Schedule(
+                priority_update="eager_with_fusion",
+                delta=3,
+                num_threads=4,
+                execution="parallel",
+            ),
+        )
+        source = int(np.argmax(graph.out_degrees()))
+        with obs.tracing() as tracer:
+            program.run(["sssp", "-", str(source)], graph=graph)
+        spans = [e for e in tracer.events if e.get("ph") == "X"]
+        tids = {e["tid"] for e in spans}
+        assert len(tids) > 1  # worker threads actually traced
+        rows = self_profile(spans)
+        for row in rows:
+            assert row.self_us >= -1e-6, (row.name, row.self_us)
+        by_name = {r.name for r in rows}
+        assert "worker.produce" in by_name
+
+    def test_interleaved_writes_from_threads_export_validly(self):
+        """Concurrent span recording through the public hooks produces a
+        schema-valid trace (no torn events)."""
+        with obs.tracing() as tracer:
+            def work():
+                for _ in range(50):
+                    with obs.span("commit", "parallel"):
+                        pass
+
+            pool = [threading.Thread(target=work) for _ in range(4)]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+        payload = chrome_trace(tracer)
+        commits = [
+            e for e in payload["traceEvents"] if e.get("name") == "commit"
+        ]
+        assert len(commits) == 200
+        rows = {r.name: r for r in self_profile(tracer.events)}
+        assert rows["commit"].count == 200

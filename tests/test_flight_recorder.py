@@ -1,0 +1,154 @@
+"""The crash flight recorder: bounded ring, always-on spans, forensics.
+
+The recorder is the tracer's always-on sibling: when no tracer is active,
+the module-level ``obs.span``/``instant`` hooks feed a bounded ring instead
+of returning the null span, and an escaping CLI error dumps that ring (plus
+the exception and a metrics snapshot) to ``.repro/last_run.json`` for
+``repro last-run`` to pretty-print.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.cli import main
+from repro.obs import flight
+
+
+@pytest.fixture()
+def recorder():
+    """A fresh, small recorder installed for the duration of the test."""
+    saved = flight.get_recorder()
+    fresh = flight.FlightRecorder(capacity=16)
+    flight.set_recorder(fresh)
+    yield fresh
+    flight.set_recorder(saved)
+
+
+@pytest.fixture()
+def state_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path))
+    return tmp_path
+
+
+class TestRing:
+    def test_ring_is_bounded(self, recorder):
+        for i in range(100):
+            with obs.span("bucket.advance", "bucket", i=i):
+                pass
+        events = recorder.events()
+        assert len(events) == 16  # capacity, not 100
+        assert recorder.recorded == 100
+        # The ring keeps the most recent spans.
+        assert [e["args"]["i"] for e in events] == list(range(84, 100))
+
+    def test_spans_recorded_with_tracing_off(self, recorder):
+        assert obs.get_tracer() is None
+        with obs.span("compile", "compiler", backend="python") as sp:
+            sp["late"] = 7
+        obs.instant("thread_name", "meta", label="tester")
+        events = recorder.events()
+        assert [e["ph"] for e in events] == ["X", "i"]
+        assert events[0]["args"] == {"backend": "python", "late": 7}
+        assert events[0]["dur_us"] >= 0
+
+    def test_tracer_takes_precedence_over_recorder(self, recorder):
+        with obs.tracing() as tracer:
+            with obs.span("compile", "compiler"):
+                pass
+        assert any(e.get("name") == "compile" for e in tracer.events)
+        assert recorder.events() == []  # traced spans don't hit the ring
+
+    def test_escaping_exception_marked_and_not_swallowed(self, recorder):
+        with pytest.raises(RuntimeError):
+            with obs.span("bucket.reduce", "bucket"):
+                raise RuntimeError("boom")
+        (event,) = recorder.events()
+        assert event["error"] == "RuntimeError"
+
+    def test_args_coerced_to_json_safe(self, recorder):
+        import numpy as np
+
+        with obs.span("commit", "parallel", n=np.int64(3), path=object()):
+            pass
+        (event,) = recorder.events()
+        assert event["args"]["n"] == 3
+        assert isinstance(event["args"]["path"], str)
+        json.dumps(event)  # the whole entry must serialize
+
+    def test_note_run_context_attached(self, recorder):
+        flight.note_run(argv=["sssp", "g.el"], delta=4)
+        assert recorder.context() == {"argv": ["sssp", "g.el"], "delta": 4}
+
+
+class TestForensicsDump:
+    def test_dump_writes_schema_document(self, recorder, state_dir):
+        with obs.span("bucket.advance", "bucket"):
+            pass
+        flight.note_run(argv=["x"])
+        path = flight.dump_forensics(ValueError("bad delta"), argv=["run", "x"])
+        assert path == str(state_dir / "last_run.json")
+        document = json.loads((state_dir / "last_run.json").read_text())
+        assert document["schema"] == flight.FORENSICS_SCHEMA
+        assert document["error"]["type"] == "ValueError"
+        assert document["error"]["message"] == "bad delta"
+        assert "ValueError: bad delta" in document["error"]["traceback"]
+        assert document["argv"] == ["run", "x"]
+        assert document["context"] == {"argv": ["x"]}
+        assert [e["name"] for e in document["events"]] == ["bucket.advance"]
+        assert isinstance(document["metrics"], dict)
+
+    def test_dump_disabled_recorder_returns_none(self, state_dir):
+        saved = flight.set_recorder(None)
+        try:
+            assert not flight.flight_enabled()
+            assert flight.dump_forensics(ValueError("x")) is None
+            assert not os.path.exists(state_dir / "last_run.json")
+        finally:
+            flight.set_recorder(saved)
+
+    def test_dump_never_raises_on_bad_state_dir(self, recorder, monkeypatch):
+        monkeypatch.setenv("REPRO_STATE_DIR", "/proc/definitely/not/writable")
+        assert flight.dump_forensics(ValueError("x")) is None
+
+
+class TestCLI:
+    def test_failed_run_dumps_and_last_run_reads(
+        self, recorder, state_dir, capsys
+    ):
+        # A built-in program with a graph file that does not exist: the
+        # loader's exception escapes the handler, so main() dumps the
+        # flight recorder before re-raising.
+        with pytest.raises(FileNotFoundError):
+            main(["run", "sssp", str(state_dir / "missing.el"), "0"])
+        err = capsys.readouterr().err
+        assert "forensics written to" in err
+
+        assert main(["last-run"]) == 0
+        out = capsys.readouterr().out
+        assert "FileNotFoundError" in out
+        assert "missing.el" in out
+        # The compile spans leading up to the failure are in the ring.
+        assert "compiler:" in out
+
+    def test_graphit_error_also_dumps(self, recorder, state_dir, capsys):
+        assert main(["run", "definitely-not-a-program", "g.el"]) == 1
+        captured = capsys.readouterr()
+        assert "forensics written to" in captured.err
+        document = json.loads((state_dir / "last_run.json").read_text())
+        assert document["error"]["type"] == "GraphItError"
+
+    def test_last_run_without_dump(self, state_dir, capsys):
+        assert main(["last-run"]) == 1
+        assert "no forensics dump" in capsys.readouterr().out
+
+    def test_last_run_raw_is_valid_json(self, recorder, state_dir, capsys):
+        flight.dump_forensics(ValueError("x"), argv=["y"])
+        capsys.readouterr()
+        assert main(["last-run", "--raw"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["error"]["type"] == "ValueError"

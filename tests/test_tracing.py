@@ -202,12 +202,39 @@ class TestChromeTraceExport:
 # ----------------------------------------------------------------------
 class TestTracingInvisibility:
     def test_off_by_default_and_null_span_shared(self):
+        from repro.obs import flight
+
         assert obs.get_tracer() is None
-        first = obs.span("anything", "meta", x=1)
-        second = obs.span("other", "bucket")
-        assert first is second  # the shared stateless null span
-        with first as sp:
-            assert sp is None
+        # With both the tracer and the flight recorder off, the hooks fall
+        # through to one shared stateless null span.
+        saved = flight.get_recorder()
+        flight.set_recorder(None)
+        try:
+            first = obs.span("anything", "meta", x=1)
+            second = obs.span("other", "bucket")
+            assert first is second  # the shared stateless null span
+            with first as sp:
+                assert sp is None
+        finally:
+            flight.set_recorder(saved)
+
+    def test_untraced_spans_feed_the_flight_recorder(self):
+        """With tracing off but the recorder on, span() still records —
+        the always-on forensics ring the crash dump is built from."""
+        from repro.obs import flight
+
+        saved = flight.get_recorder()
+        recorder = flight.FlightRecorder(capacity=8)
+        flight.set_recorder(recorder)
+        try:
+            assert obs.get_tracer() is None
+            with obs.span("bucket.advance", "bucket", order=3) as sp:
+                assert sp is not None  # args dict, mutable like a tracer span
+            events = recorder.events()
+            assert [e["name"] for e in events] == ["bucket.advance"]
+            assert events[0]["args"]["order"] == 3
+        finally:
+            flight.set_recorder(saved)
 
     def test_untraced_run_keeps_stats_bit_identical(self, graph):
         baseline = run_sssp(graph)
