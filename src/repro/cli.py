@@ -28,6 +28,12 @@ Mirrors the GraphIt compiler's command-line workflow:
   profile artifacts to compiler and runtime phases.
 - ``bench-native`` — benchmark the native compiled-kernel path against the
   sequential scalar oracle (requires a C++ toolchain).
+- ``serve`` — long-running query service: load a graph once, answer
+  concurrent point queries over HTTP/JSON with a result cache, request
+  coalescing, admission control, and ``/mutate`` support.
+- ``bench-serve`` — closed-loop load test against a live query server
+  (Zipf-skewed sources, latency percentiles + throughput), writing
+  ``BENCH_serve.json``.
 - ``bench-check`` — re-run the checked-in benchmarks and fail when a
   fresh run regresses past a tolerance (the CI perf gate);
   ``--attribute`` prints the per-phase diff against the baseline's
@@ -47,6 +53,8 @@ Examples::
     python -m repro metrics sssp --workload profile.json
     python -m repro last-run
     python -m repro trace-diff baseline_trace.json fresh_trace.json
+    python -m repro serve --graph social.el --port 8732
+    python -m repro bench-serve --clients 8 --enforce-floors
     python -m repro bench-check --tolerance 0.2 --attribute
 """
 
@@ -665,6 +673,52 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
                 f"tolerance -{tol:.0%})"
             )
 
+    def check_ceiling(bench: str, metric: str, base: float, fresh: float, tol: float):
+        """Perf check for lower-is-better metrics (latencies): the fresh
+        value must not rise more than ``tolerance`` above the baseline."""
+        delta = fresh / base - 1.0 if base else float("inf")
+        ok = delta <= tol
+        rows.append(
+            [
+                bench,
+                metric,
+                f"{base:.2f}",
+                f"{fresh:.2f}",
+                f"{delta:+.1%}",
+                f"+{tol:.0%}",
+                "ok" if ok else "FAIL",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{bench}: {metric} regressed {delta:+.1%} "
+                f"(baseline {base:.2f}, fresh {fresh:.2f}, "
+                f"tolerance +{tol:.0%})"
+            )
+
+    def check_floor(bench: str, metric: str, floor: float, fresh: float, *,
+                    ceiling: bool = False):
+        """Absolute budget check: the fresh value must stay on the right
+        side of the checked-in floor/ceiling regardless of the baseline."""
+        ok = fresh <= floor if ceiling else fresh >= floor
+        bound = "<=" if ceiling else ">="
+        rows.append(
+            [
+                bench,
+                metric,
+                f"{floor:.2f}",
+                f"{fresh:.2f}",
+                "budget",
+                bound,
+                "ok" if ok else "FAIL",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{bench}: {metric} {fresh:.2f} violates the absolute "
+                f"budget ({bound} {floor:.2f})"
+            )
+
     def check_exact(bench: str, metric: str, base, fresh):
         ok = base == fresh
         rows.append(
@@ -864,6 +918,88 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
             "incremental_vertices_touched",
         ):
             check_exact("incremental", metric, base_i[metric], fresh_i[metric])
+
+    # -- bench-serve ---------------------------------------------------
+    tol_serve = (
+        args.tolerance_serve if args.tolerance_serve is not None else args.tolerance
+    )
+    base_s = (
+        load(args.serve_baseline) if os.path.exists(args.serve_baseline) else None
+    )
+    if base_s is None:
+        print(
+            f"bench-check: no serve baseline at {args.serve_baseline!r}; "
+            "skipping the query-service benchmark"
+        )
+    else:
+        fresh_s_path = os.path.join(out_dir, "BENCH_serve.fresh.json")
+        rc = _cmd_bench_serve(
+            argparse.Namespace(
+                scale=base_s["graph"]["scale"],
+                edge_factor=base_s["graph"]["edge_factor"],
+                seed=base_s["graph"]["seed"],
+                clients=base_s["clients"],
+                requests=base_s["requests_per_client"],
+                pool_size=base_s["pool_size"],
+                zipf_s=base_s["zipf_s"],
+                program=base_s["program"],
+                delta=base_s["schedule"]["delta"],
+                cached_requests=base_s["cached_requests"],
+                max_pending=base_s["max_pending"],
+                output=fresh_s_path,
+                enforce_floors=False,
+            )
+        )
+        if rc != 0:
+            print("bench-check: fresh bench-serve run failed")
+            return rc
+        fresh_s = load(fresh_s_path)
+        profiled.append(("serve", base_s, fresh_s))
+        check_perf(
+            "serve",
+            "throughput_qps",
+            base_s["throughput_qps"],
+            fresh_s["throughput_qps"],
+            tol_serve,
+        )
+        check_ceiling(
+            "serve", "p95_ms", base_s["p95_ms"], fresh_s["p95_ms"], tol_serve
+        )
+        check_ceiling(
+            "serve",
+            "cached_p95_ms",
+            base_s["cached_p95_ms"],
+            fresh_s["cached_p95_ms"],
+            tol_serve,
+        )
+        # The acceptance floors are absolute: however the baseline drifts,
+        # the fresh run must clear them on its own.
+        floors = base_s.get("floors", {})
+        if "throughput_qps" in floors:
+            check_floor(
+                "serve",
+                "floor[throughput_qps]",
+                floors["throughput_qps"],
+                fresh_s["throughput_qps"],
+            )
+        if "p95_ms" in floors:
+            check_floor(
+                "serve",
+                "floor[p95_ms]",
+                floors["p95_ms"],
+                fresh_s["p95_ms"],
+                ceiling=True,
+            )
+        if "cached_p95_ms" in floors:
+            check_floor(
+                "serve",
+                "floor[cached_p95_ms]",
+                floors["cached_p95_ms"],
+                fresh_s["cached_p95_ms"],
+                ceiling=True,
+            )
+        for metric in ("unique_sources", "responses_ok", "total_requests"):
+            check_exact("serve", metric, base_s[metric], fresh_s[metric])
 
     from .eval.harness import format_table
 
@@ -1506,6 +1642,136 @@ def _cmd_bench_incremental(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_serve_graph(spec: str):
+    """A graph for the query service: a file path or an ``rmat:`` spec.
+
+    ``rmat:scale=10,edge_factor=16,seed=0`` generates a synthetic graph
+    in-process — the CI smoke job and local experiments boot without a
+    fixture file on disk.
+    """
+    if spec.startswith("rmat:"):
+        params = {"scale": 10, "edge_factor": 16, "seed": 0}
+        for part in spec[len("rmat:"):].split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, sep, value = part.partition("=")
+            if not sep or name.strip() not in params:
+                raise GraphItError(
+                    f"bad rmat spec component {part!r}; expected "
+                    "scale=/edge_factor=/seed="
+                )
+            try:
+                params[name.strip()] = int(value)
+            except ValueError:
+                raise GraphItError(f"rmat spec {name.strip()!r} must be an integer")
+        graph = rmat(
+            params["scale"], params["edge_factor"], seed=params["seed"],
+            weights=(1, 4),
+        )
+        name = (
+            f"rmat(scale={params['scale']},"
+            f"edge_factor={params['edge_factor']},seed={params['seed']})"
+        )
+        return graph, name
+    return _load_graph(spec), spec
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: load the graph once, answer queries until killed."""
+    import asyncio
+
+    from .serve import QueryServer, ServeEngine
+
+    graph, name = _resolve_serve_graph(args.graph)
+    engine = ServeEngine(
+        graph,
+        graph_name=name,
+        max_pending=args.max_pending,
+        cache_capacity=args.cache_capacity,
+        workers=args.threads,
+    )
+    server = QueryServer(engine, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {name} ({graph.num_vertices} vertices, "
+            f"{graph.num_edges} edges) on "
+            f"http://{server.host}:{server.port}",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("serve: shutting down")
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    """``repro bench-serve``: the closed-loop load test (CI perf gate)."""
+    import json
+
+    from .obs import phase_profile, tracing
+    from .serve.bench import check_floors, run_serve_bench
+    from .serve.client import ServeClient
+    from .serve.server import start_in_thread
+
+    record = run_serve_bench(
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        seed=args.seed,
+        clients=args.clients,
+        requests=args.requests,
+        pool_size=args.pool_size,
+        zipf_s=args.zipf_s,
+        program=args.program,
+        delta=args.delta,
+        cached_requests=args.cached_requests,
+        max_pending=args.max_pending,
+    )
+
+    # A short traced pass on a fresh (cold-cache) server embeds the phase
+    # profile `bench-check --attribute` diffs on regression.
+    with tracing() as tracer:
+        handle = start_in_thread(rmat(args.scale, args.edge_factor,
+                                      seed=args.seed, weights=(1, 4)))
+        try:
+            with ServeClient(*handle.address) as client:
+                for source in (0, 1, 0):
+                    client.query(
+                        args.program,
+                        source=source,
+                        schedule={"priority_update": "lazy", "delta": args.delta},
+                    )
+        finally:
+            handle.stop()
+    record["phase_profile"] = phase_profile(tracer.events)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{record['total_requests']} requests from {args.clients} clients: "
+        f"{record['throughput_qps']:.0f} qps, "
+        f"p50 {record['p50_ms']:.2f}ms p95 {record['p95_ms']:.2f}ms "
+        f"p99 {record['p99_ms']:.2f}ms, "
+        f"cached p95 {record['cached_p95_ms']:.2f}ms -> {args.output}"
+    )
+    if args.enforce_floors:
+        problems = check_floors(record)
+        for problem in problems:
+            print(f"bench-serve FAIL: {problem}")
+        if problems:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1911,6 +2177,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     diff_parser.set_defaults(handler=_cmd_trace_diff)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="long-running query service: load a graph once, answer "
+        "concurrent point queries over HTTP/JSON",
+    )
+    serve_parser.add_argument(
+        "--graph",
+        required=True,
+        help="graph file (.el/.npz) or an in-process generator spec like "
+        "rmat:scale=10,edge_factor=16,seed=0",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8732, help="0 picks an ephemeral port"
+    )
+    serve_parser.add_argument(
+        "--threads",
+        type=int,
+        default=2,
+        help="worker threads running traversals (default 2)",
+    )
+    serve_parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission budget: fresh traversals beyond this many pending "
+        "are rejected with 429 + Retry-After (cache hits and coalesced "
+        "joins are always admitted)",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=128,
+        help="result-cache capacity in traversals (default 128)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    bserve_parser = commands.add_parser(
+        "bench-serve",
+        help="closed-loop load test against a live query server and write "
+        "BENCH_serve.json (the CI perf gate for repro serve)",
+    )
+    bserve_parser.add_argument("--scale", type=int, default=10)
+    bserve_parser.add_argument("--edge-factor", type=int, default=16)
+    bserve_parser.add_argument("--seed", type=int, default=0)
+    bserve_parser.add_argument(
+        "--clients", type=int, default=8, help="closed-loop client threads"
+    )
+    bserve_parser.add_argument(
+        "--requests", type=int, default=50, help="requests per client"
+    )
+    bserve_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=24,
+        help="size of the hot-source pool the Zipf draw ranks over",
+    )
+    bserve_parser.add_argument(
+        "--zipf-s", type=float, default=1.2, help="Zipf skew exponent"
+    )
+    bserve_parser.add_argument(
+        "--program", default="sssp", help="servable program to query"
+    )
+    bserve_parser.add_argument("--delta", type=int, default=3)
+    bserve_parser.add_argument(
+        "--cached-requests",
+        type=int,
+        default=200,
+        help="requests in the cached-hit phase (one client, hot source)",
+    )
+    bserve_parser.add_argument("--max-pending", type=int, default=64)
+    bserve_parser.add_argument("-o", "--output", default="BENCH_serve.json")
+    bserve_parser.add_argument(
+        "--enforce-floors",
+        action="store_true",
+        help="fail when the run misses the absolute qps/latency floors",
+    )
+    bserve_parser.set_defaults(handler=_cmd_bench_serve)
+
     check_parser = commands.add_parser(
         "bench-check",
         help="re-run both benchmarks and fail on regressions vs the "
@@ -1966,6 +2311,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override --tolerance for the incremental benchmark",
+    )
+    check_parser.add_argument(
+        "--serve-baseline",
+        default="BENCH_serve.json",
+        help="baseline record for bench-serve (skipped when missing)",
+    )
+    check_parser.add_argument(
+        "--tolerance-serve",
+        type=float,
+        default=None,
+        help="override --tolerance for the query-service benchmark",
     )
     check_parser.add_argument(
         "--repeats",

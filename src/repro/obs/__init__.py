@@ -69,6 +69,7 @@ from .flight import (
 from .metrics import (
     MetricsRegistry,
     deterministic_snapshot,
+    escape_label_value,
     merge_shards,
     metrics_enabled,
     prometheus_text,
@@ -119,6 +120,7 @@ __all__ = [
     "snapshot",
     "deterministic_snapshot",
     "prometheus_text",
+    "escape_label_value",
     "FlightRecorder",
     "get_recorder",
     "set_recorder",

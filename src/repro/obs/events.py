@@ -51,6 +51,7 @@ CATEGORIES = frozenset(
         "parallel",  # parallel-engine produce/barrier/commit
         "native",    # native path: toolchain/codegen/compile/load/execute
         "incremental",  # mutation resume: seed/invalidate/recompute/resume
+        "serve",     # query service: request handling, execution, mutation
         "harness",   # eval harness cells
         "cli",       # top-level command spans
         "meta",      # thread-name metadata
@@ -121,6 +122,10 @@ SPAN_NAMES: dict[str, str] = {
     "incremental.recompute": "incremental",
     "incremental.resume": "incremental",
     "incremental.kcore": "incremental",
+    # serve: the query service's request -> execute -> respond pipeline
+    "serve.request": "serve",
+    "serve.execute": "serve",
+    "serve.mutate": "serve",
     # harness / meta
     "cell.run": "harness",
     "thread_name": "meta",
@@ -175,6 +180,19 @@ METRICS: dict[str, dict] = {
     "incremental.seeds": {"kind": "histogram", "cat": "incremental"},
     "incremental.invalidated": {"kind": "histogram", "cat": "incremental"},
     "incremental.kcore_fixpoints": {"kind": "counter", "cat": "incremental"},
+    # query service (repro serve)
+    "serve.requests": {"kind": "counter", "cat": "serve"},
+    "serve.cache_hits": {"kind": "counter", "cat": "serve"},
+    "serve.cache_misses": {"kind": "counter", "cat": "serve"},
+    "serve.coalesced": {"kind": "counter", "cat": "serve"},
+    "serve.rejected": {"kind": "counter", "cat": "serve"},
+    "serve.errors": {"kind": "counter", "cat": "serve"},
+    "serve.mutations": {"kind": "counter", "cat": "serve"},
+    "serve.resumes": {"kind": "counter", "cat": "serve"},
+    "serve.queue_depth": {"kind": "gauge", "cat": "serve"},
+    "serve.latency_us": {
+        "kind": "histogram", "cat": "serve", "wallclock": True,
+    },
 }
 
 _REQUIRED = ("name", "cat", "ph", "ts", "pid", "tid")

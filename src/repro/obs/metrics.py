@@ -60,6 +60,7 @@ __all__ = [
     "snapshot",
     "deterministic_snapshot",
     "prometheus_text",
+    "escape_label_value",
 ]
 
 # Histogram bucket count: covers every non-negative int64 (bit_length <= 63)
@@ -326,8 +327,14 @@ class MetricsRegistry:
         }
 
     def prometheus_text(self) -> str:
-        """Prometheus text exposition (the ``repro metrics --format prom``
-        output and the future query-service ``/metrics`` body)."""
+        """Prometheus text exposition.
+
+        This is the **single** exposition function: ``repro metrics
+        --format prom`` and the query service's ``/metrics`` endpoint both
+        call it, so the two outputs can never drift apart.  Every series
+        carries the ``# TYPE`` line scrapers require, and label values go
+        through :func:`escape_label_value`.
+        """
         lines: list[str] = []
         for metric in self:
             base = "repro_" + metric.name.replace(".", "_").replace("-", "_")
@@ -353,7 +360,7 @@ class MetricsRegistry:
                     if count == 0:
                         continue
                     cumulative += count
-                    bound = (1 << index) - 1
+                    bound = escape_label_value((1 << index) - 1)
                     lines.append(
                         f'{base}_bucket{{le="{bound}"}} {cumulative}'
                     )
@@ -404,3 +411,18 @@ def deterministic_snapshot() -> dict:
 
 def prometheus_text() -> str:
     return REGISTRY.prometheus_text()
+
+
+def escape_label_value(value) -> str:
+    """Escape a Prometheus label value per the text exposition format.
+
+    Backslash, double quote, and newline are the three characters the spec
+    requires escaping inside ``label="..."``; everything else passes
+    through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )

@@ -1,0 +1,239 @@
+"""Closed-loop load-test harness behind ``repro bench-serve``.
+
+Boots a real :class:`~repro.serve.server.QueryServer` (own event-loop
+thread, real TCP sockets), then drives it with ``clients`` closed-loop
+threads — each issues its next query the moment the previous response
+lands, the standard closed-loop model for latency/throughput benches.
+
+Sources are drawn from a finite pool of the highest-out-degree vertices
+under a Zipf distribution, so the traffic has the skew that makes a result
+cache worth having: a few hot sources dominate, the tail keeps missing.
+The Zipf draw is hand-rolled inverse-CDF over the finite pool (a plain
+``rng.random()`` float against precomputed cumulative weights), so the
+sequence of sources is bit-stable across numpy versions — which is what
+lets the bench report **deterministic** counters (``unique_sources``,
+``responses_ok``) that ``bench-check`` can compare exactly, alongside the
+wall-clock percentiles it compares with tolerance.
+
+Two measured phases:
+
+* **mixed** — all clients, Zipf sources, cold cache: misses pay a real
+  traversal, hits and coalesced joins ride along.  Yields throughput and
+  the end-to-end latency percentiles.
+* **cached** — one client replays the hottest source: every request is a
+  cache hit.  Yields the cached-hit percentiles (the ``cached_p95_ms``
+  floor in CI).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..graph.generators import rmat
+from .client import ServeClient
+from .server import ServerHandle, start_in_thread
+
+__all__ = ["FLOORS", "check_floors", "percentile", "run_serve_bench", "zipf_ranks"]
+
+#: CI floors enforced by ``repro bench-check`` on the fresh run (and by
+#: ``repro bench-serve --enforce-floors``).  From the acceptance criteria:
+#: >= 200 qps at 8 closed-loop clients, p95 < 100 ms, cached-hit p95 < 5 ms.
+FLOORS = {
+    "throughput_qps": 200.0,
+    "p95_ms": 100.0,
+    "cached_p95_ms": 5.0,
+}
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def zipf_ranks(rng: np.random.Generator, count: int, pool: int, s: float) -> list[int]:
+    """``count`` Zipf(s)-distributed ranks in ``[0, pool)``.
+
+    Inverse-CDF over the finite pool: only ``rng.random()`` is consumed,
+    so the draw is bit-stable across numpy versions (unlike
+    ``Generator.zipf``, whose rejection sampling is an implementation
+    detail).
+    """
+    weights = 1.0 / np.arange(1, pool + 1, dtype=np.float64) ** s
+    cumulative = np.cumsum(weights / weights.sum())
+    draws = rng.random(count)
+    return np.searchsorted(cumulative, draws, side="right").tolist()
+
+
+def _source_pool(graph, size: int) -> list[int]:
+    """The ``size`` highest-out-degree vertices (hottest-first)."""
+    degrees = np.diff(graph.indptr)
+    order = np.argsort(-degrees, kind="stable")
+    return [int(vertex) for vertex in order[:size]]
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    program: str,
+    schedule: dict,
+    sources: list[int],
+    latencies_ms: list[float],
+    outcomes: list[str],
+    barrier: threading.Barrier,
+) -> None:
+    with ServeClient(host, port) as client:
+        barrier.wait()
+        for source in sources:
+            start = time.perf_counter()
+            response = client.query(program, source=source, schedule=schedule)
+            latencies_ms.append((time.perf_counter() - start) * 1e3)
+            if response.status == 200:
+                outcomes.append(response.json()["served"])
+            else:
+                outcomes.append(f"http_{response.status}")
+
+
+def run_serve_bench(
+    scale: int = 10,
+    edge_factor: int = 16,
+    seed: int = 0,
+    clients: int = 8,
+    requests: int = 50,
+    pool_size: int = 24,
+    zipf_s: float = 1.2,
+    program: str = "sssp",
+    delta: int = 3,
+    cached_requests: int = 200,
+    max_pending: int = 64,
+) -> dict:
+    """Run the two-phase load test; returns the ``BENCH_serve.json`` record."""
+    graph = rmat(scale, edge_factor, seed=seed, weights=(1, 4))
+    graph_name = f"rmat(scale={scale},edge_factor={edge_factor},seed={seed})"
+    schedule = {"priority_update": "lazy", "delta": delta}
+    handle: ServerHandle = start_in_thread(
+        graph, graph_name=graph_name, max_pending=max_pending
+    )
+    host, port = handle.address
+    try:
+        pool = _source_pool(graph, pool_size)
+        plans: list[list[int]] = []
+        for index in range(clients):
+            rng = np.random.default_rng(seed * 1_000_003 + index)
+            ranks = zipf_ranks(rng, requests, len(pool), zipf_s)
+            plans.append([pool[rank] for rank in ranks])
+        unique_sources = len({source for plan in plans for source in plan})
+
+        # -- mixed phase: all clients, cold cache ----------------------
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        outcomes: list[list[str]] = [[] for _ in range(clients)]
+        barrier = threading.Barrier(clients + 1)
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(
+                    host,
+                    port,
+                    program,
+                    schedule,
+                    plans[index],
+                    latencies[index],
+                    outcomes[index],
+                    barrier,
+                ),
+                name=f"bench-client-{index}",
+            )
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+
+        all_latencies = [sample for bucket in latencies for sample in bucket]
+        all_outcomes = [outcome for bucket in outcomes for outcome in bucket]
+        total = len(all_outcomes)
+        responses_ok = sum(
+            1 for outcome in all_outcomes if not outcome.startswith("http_")
+        )
+
+        # -- cached phase: one client, hottest source, all hits --------
+        cached_latencies: list[float] = []
+        with ServeClient(host, port) as client:
+            client.query(program, source=pool[0], schedule=schedule)  # warm
+            for _ in range(cached_requests):
+                start = time.perf_counter()
+                client.query(program, source=pool[0], schedule=schedule)
+                cached_latencies.append((time.perf_counter() - start) * 1e3)
+
+        health = ServeClient(host, port).healthz()
+    finally:
+        handle.stop()
+
+    served = {
+        outcome: all_outcomes.count(outcome)
+        for outcome in sorted(set(all_outcomes))
+    }
+    return {
+        "benchmark": "query service closed-loop load test (repro serve)",
+        "graph": {
+            "kind": "rmat",
+            "scale": scale,
+            "edge_factor": edge_factor,
+            "seed": seed,
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+        },
+        "program": program,
+        "schedule": schedule,
+        "clients": clients,
+        "requests_per_client": requests,
+        "pool_size": pool_size,
+        "zipf_s": zipf_s,
+        "cached_requests": cached_requests,
+        "max_pending": max_pending,
+        "total_requests": total,
+        "responses_ok": responses_ok,
+        "unique_sources": unique_sources,
+        "served": served,
+        "throughput_qps": total / elapsed if elapsed else 0.0,
+        "elapsed_seconds": elapsed,
+        "p50_ms": percentile(all_latencies, 0.50),
+        "p95_ms": percentile(all_latencies, 0.95),
+        "p99_ms": percentile(all_latencies, 0.99),
+        "cached_p50_ms": percentile(cached_latencies, 0.50),
+        "cached_p95_ms": percentile(cached_latencies, 0.95),
+        "floors": dict(FLOORS),
+        "server_cache": health["cache"],
+    }
+
+
+def check_floors(record: dict) -> list[str]:
+    """Floor violations in a bench record (empty list = within budget)."""
+    floors = record.get("floors", FLOORS)
+    problems: list[str] = []
+    if record["throughput_qps"] < floors["throughput_qps"]:
+        problems.append(
+            f"throughput {record['throughput_qps']:.1f} qps below the "
+            f"{floors['throughput_qps']:.0f} qps floor"
+        )
+    if record["p95_ms"] > floors["p95_ms"]:
+        problems.append(
+            f"p95 latency {record['p95_ms']:.2f} ms above the "
+            f"{floors['p95_ms']:.0f} ms ceiling"
+        )
+    if record["cached_p95_ms"] > floors["cached_p95_ms"]:
+        problems.append(
+            f"cached-hit p95 {record['cached_p95_ms']:.2f} ms above the "
+            f"{floors['cached_p95_ms']:.0f} ms ceiling"
+        )
+    return problems

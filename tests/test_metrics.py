@@ -273,6 +273,47 @@ class TestPrometheus:
         assert "repro_bucket_delta 4" in text
         assert "." not in text.split()[2]  # metric token has no dots
 
+    def test_every_series_carries_a_type_line(self):
+        metrics.counter("serve.requests").inc()
+        metrics.gauge("serve.queue_depth").set(3)
+        metrics.histogram("serve.latency_us").observe(120)
+        text = metrics.prometheus_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_latency_us histogram" in text
+        # Every exposed family is preceded by its TYPE declaration.
+        families = {
+            line.split()[0].rsplit("_bucket", 1)[0].rsplit("_sum", 1)[0]
+            .rsplit("_count", 1)[0].split("{")[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        declared = {
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE")
+        }
+        assert families <= declared
+
+    def test_escape_label_value(self):
+        from repro.obs.metrics import escape_label_value
+
+        assert escape_label_value('pla"in') == 'pla\\"in'
+        assert escape_label_value("back\\slash") == "back\\\\slash"
+        assert escape_label_value("new\nline") == "new\\nline"
+        assert escape_label_value(7) == "7"
+
+    def test_histogram_le_labels_are_escaped(self):
+        # The +Inf bound goes through the same escaping path as every
+        # other label value; nothing in the output may carry a raw quote
+        # or newline inside a label.
+        metrics.histogram("serve.latency_us").observe(1)
+        text = metrics.prometheus_text()
+        for line in text.splitlines():
+            if "{" in line:
+                label_blob = line[line.index("{") + 1 : line.rindex("}")]
+                assert "\n" not in label_blob
+                assert line.count('"') % 2 == 0
+
 
 # ----------------------------------------------------------------------
 # Overhead budget

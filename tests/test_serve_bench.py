@@ -1,0 +1,114 @@
+"""The closed-loop load-test harness: determinism, percentiles, floors.
+
+``bench-check`` compares ``unique_sources`` / ``responses_ok`` across
+machines **exactly**, so the Zipf source draw must be bit-stable across
+numpy versions and platforms — pinned here along with the percentile
+helper and the floor checker the CI gate runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import (
+    FLOORS,
+    check_floors,
+    percentile,
+    run_serve_bench,
+    zipf_ranks,
+)
+
+
+class TestZipfDraw:
+    def test_deterministic_for_a_seed(self):
+        a = zipf_ranks(np.random.default_rng(7), 500, 24, 1.2)
+        b = zipf_ranks(np.random.default_rng(7), 500, 24, 1.2)
+        assert a == b
+
+    def test_ranks_stay_in_pool(self):
+        ranks = zipf_ranks(np.random.default_rng(0), 1000, 16, 1.2)
+        assert min(ranks) >= 0 and max(ranks) < 16
+
+    def test_distribution_is_skewed_head_heavy(self):
+        ranks = zipf_ranks(np.random.default_rng(0), 5000, 24, 1.2)
+        counts = np.bincount(ranks, minlength=24)
+        assert counts[0] == max(counts)  # rank 0 is the hottest
+        assert counts[0] > 3 * counts[-1]  # real skew, not uniform
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.95) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 0.5) == 42.0
+        assert percentile([42.0], 0.99) == 42.0
+
+    def test_nearest_rank(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile(samples, 0.50) == 51.0
+        assert percentile(samples, 0.95) == 95.0
+        assert percentile(samples, 0.99) == 99.0
+
+    def test_order_independent(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 7.0]
+        assert percentile(samples, 0.5) == percentile(sorted(samples), 0.5)
+
+
+class TestFloors:
+    BASE = {
+        "throughput_qps": 500.0,
+        "p95_ms": 20.0,
+        "cached_p95_ms": 1.0,
+        "floors": dict(FLOORS),
+    }
+
+    def test_within_budget_no_problems(self):
+        assert check_floors(dict(self.BASE)) == []
+
+    def test_each_violation_reported(self):
+        record = dict(self.BASE)
+        record["throughput_qps"] = 10.0
+        record["p95_ms"] = 500.0
+        record["cached_p95_ms"] = 50.0
+        problems = check_floors(record)
+        assert len(problems) == 3
+        assert any("throughput" in problem for problem in problems)
+        assert any("p95" in problem for problem in problems)
+        assert any("cached-hit" in problem for problem in problems)
+
+
+class TestHarness:
+    @pytest.mark.slow
+    def test_small_run_end_to_end(self):
+        record = run_serve_bench(
+            scale=7,
+            clients=3,
+            requests=6,
+            pool_size=6,
+            cached_requests=10,
+        )
+        assert record["total_requests"] == 18
+        assert record["responses_ok"] == 18  # budget never overflowed
+        assert 0 < record["unique_sources"] <= 6
+        assert record["throughput_qps"] > 0
+        assert record["p95_ms"] > 0
+        assert record["cached_p95_ms"] > 0
+        served = record["served"]
+        assert sum(served.values()) == 18
+        assert served.get("computed", 0) >= 1  # the cold traversals ran
+        assert served.get("cache", 0) >= 1  # and the hot sources hit
+        # The record is self-describing for bench-check's fresh re-run.
+        for key in ("graph", "clients", "requests_per_client", "pool_size",
+                    "zipf_s", "cached_requests", "max_pending", "floors"):
+            assert key in record
+
+    @pytest.mark.slow
+    def test_identical_seeds_identical_deterministic_counters(self):
+        first = run_serve_bench(scale=7, clients=2, requests=8, pool_size=8,
+                                cached_requests=5)
+        second = run_serve_bench(scale=7, clients=2, requests=8, pool_size=8,
+                                 cached_requests=5)
+        for key in ("total_requests", "responses_ok", "unique_sources"):
+            assert first[key] == second[key]
